@@ -1,0 +1,318 @@
+//! Variation Monte Carlo on the transistor-level row testbench.
+//!
+//! FeFET threshold voltage varies strongly device-to-device (domain
+//! granularity dominates; published σ(V_th) is 40–80 mV at this device
+//! size). Each sample rebuilds the row, programs a reference word, applies
+//! independent Gaussian V_th shifts to every FeFET, then measures the sense
+//! margin of a full match and of a single-bit mismatch — the worst-case
+//! pair that brackets a search failure.
+
+use crossbeam::thread;
+use ftcam_cells::{CellError, DesignKind, Geometry, RowTestbench, SearchTiming};
+use ftcam_devices::TechCard;
+use ftcam_workloads::{Ternary, TernaryWord};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationParams {
+    /// Standard deviation of the per-FeFET threshold shift (volts).
+    pub sigma_vth: f64,
+    /// Number of samples.
+    pub samples: usize,
+    /// RNG seed (deterministic across runs and thread counts).
+    pub seed: u64,
+    /// Worker threads (samples are distributed deterministically).
+    pub threads: usize,
+}
+
+impl Default for VariationParams {
+    fn default() -> Self {
+        Self {
+            sigma_vth: 0.05,
+            samples: 200,
+            seed: 0x5eed_f00d,
+            threads: 4,
+        }
+    }
+}
+
+/// Monte-Carlo outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McResult {
+    /// Sense margins of the full-match searches (volts).
+    pub match_margins: Vec<f64>,
+    /// Sense margins of the 1-bit-mismatch searches (volts).
+    pub mismatch_margins: Vec<f64>,
+    /// Samples where either decision was wrong.
+    pub failures: usize,
+    /// Total samples evaluated.
+    pub samples: usize,
+}
+
+impl McResult {
+    /// Search failure rate in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.samples as f64
+    }
+
+    /// Mean of the worst (minimum) per-sample margin.
+    pub fn mean_worst_margin(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.match_margins
+            .iter()
+            .zip(&self.mismatch_margins)
+            .map(|(a, b)| a.min(*b))
+            .sum::<f64>()
+            / self.samples as f64
+    }
+
+    /// Mean and standard deviation of the match margins.
+    pub fn match_margin_stats(&self) -> (f64, f64) {
+        mean_std(&self.match_margins)
+    }
+
+    /// Mean and standard deviation of the mismatch margins.
+    pub fn mismatch_margin_stats(&self) -> (f64, f64) {
+        mean_std(&self.mismatch_margins)
+    }
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Standard-normal sample via Box–Muller (avoids a `rand_distr` dependency).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Runs the variation Monte Carlo for one design.
+///
+/// Only FeFET-based designs expose a threshold-shift knob; other designs
+/// return an error.
+///
+/// # Errors
+///
+/// * [`CellError::UnsupportedOperation`] for non-FeFET designs.
+/// * Simulation failures from the row testbench.
+pub fn run_variation_mc(
+    kind: DesignKind,
+    card: &TechCard,
+    geometry: &Geometry,
+    timing: &SearchTiming,
+    width: usize,
+    params: &VariationParams,
+) -> Result<McResult, CellError> {
+    if kind.instantiate().features().segments > 1 {
+        // Supported, but margins come from the first segment only; keep the
+        // straightforward designs for the figure the paper reports.
+    }
+    if !kind.instantiate().supports_transient_write() {
+        return Err(CellError::UnsupportedOperation(format!(
+            "variation MC needs FeFET threshold knobs; {} has none",
+            kind.key()
+        )));
+    }
+    let stored: TernaryWord = (0..width)
+        .map(|i| {
+            if i % 2 == 0 {
+                Ternary::One
+            } else {
+                Ternary::Zero
+            }
+        })
+        .collect();
+    let miss = {
+        // Flip the last digit so segmented designs exercise their final
+        // (worst-margin) stage too.
+        let mut q = stored.clone();
+        q.set(width - 1, q.get(width - 1).complement());
+        q
+    };
+
+    let threads = params.threads.clamp(1, params.samples.max(1));
+    let chunk = params.samples.div_ceil(threads);
+    let results = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let begin = t * chunk;
+            let end = ((t + 1) * chunk).min(params.samples);
+            if begin >= end {
+                break;
+            }
+            let stored = stored.clone();
+            let miss = miss.clone();
+            handles.push(scope.spawn(move |_| -> Result<_, CellError> {
+                let mut match_margins = Vec::with_capacity(end - begin);
+                let mut mismatch_margins = Vec::with_capacity(end - begin);
+                let mut failures = 0usize;
+                for s in begin..end {
+                    // Deterministic per-sample stream, independent of the
+                    // thread partition.
+                    let mut rng = ChaCha8Rng::seed_from_u64(
+                        params.seed ^ (s as u64).wrapping_mul(0x9e37_79b9),
+                    );
+                    let mut row = RowTestbench::new(
+                        kind.instantiate(),
+                        card.clone(),
+                        geometry.clone(),
+                        width,
+                    )?;
+                    row.program_word(&stored)?;
+                    let deltas: Vec<f64> = (0..2 * width)
+                        .map(|_| params.sigma_vth * gaussian(&mut rng))
+                        .collect();
+                    row.apply_fefet_vth_shift(&deltas);
+
+                    let hit = row.search(&stored, timing)?;
+                    let m_hit = if hit.matched {
+                        hit.sense_margin
+                    } else {
+                        -hit.sense_margin
+                    };
+                    let missr = row.search(&miss, timing)?;
+                    let m_miss = if missr.matched {
+                        -missr.sense_margin
+                    } else {
+                        missr.sense_margin
+                    };
+                    if !hit.matched || missr.matched {
+                        failures += 1;
+                    }
+                    match_margins.push(m_hit);
+                    mismatch_margins.push(m_miss);
+                }
+                Ok((match_margins, mismatch_margins, failures))
+            }));
+        }
+        let mut match_margins = Vec::with_capacity(params.samples);
+        let mut mismatch_margins = Vec::with_capacity(params.samples);
+        let mut failures = 0usize;
+        for h in handles {
+            let (mm, sm, f) = h.join().expect("mc worker panicked")?;
+            match_margins.extend(mm);
+            mismatch_margins.extend(sm);
+            failures += f;
+        }
+        Ok::<_, CellError>(McResult {
+            samples: match_margins.len(),
+            match_margins,
+            mismatch_margins,
+            failures,
+        })
+    })
+    .expect("mc scope panicked")?;
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_has_zero_mean_unit_std() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let (mean, std) = mean_std(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((std - 1.0).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn zero_sigma_never_fails() {
+        let params = VariationParams {
+            sigma_vth: 0.0,
+            samples: 3,
+            seed: 1,
+            threads: 2,
+        };
+        let r = run_variation_mc(
+            DesignKind::FeFet2T,
+            &TechCard::hp45(),
+            &Geometry::default(),
+            &SearchTiming::fast(),
+            8,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(r.samples, 3);
+        assert_eq!(r.failures, 0);
+        assert!(r.mean_worst_margin() > 0.0);
+        // All samples identical at σ = 0.
+        let (_, std) = r.match_margin_stats();
+        assert!(std < 1e-12, "std {std}");
+    }
+
+    #[test]
+    fn variation_widens_margin_distribution() {
+        let base = VariationParams {
+            sigma_vth: 0.0,
+            samples: 4,
+            seed: 2,
+            threads: 2,
+        };
+        let noisy = VariationParams {
+            sigma_vth: 0.08,
+            ..base.clone()
+        };
+        let card = TechCard::hp45();
+        let geo = Geometry::default();
+        let t = SearchTiming::fast();
+        let r0 = run_variation_mc(DesignKind::FeFet2T, &card, &geo, &t, 8, &base).unwrap();
+        let r1 = run_variation_mc(DesignKind::FeFet2T, &card, &geo, &t, 8, &noisy).unwrap();
+        let (_, s0) = r1.mismatch_margin_stats();
+        let (_, s_base) = r0.mismatch_margin_stats();
+        assert!(s0 > s_base, "noisy std {s0} vs base {s_base}");
+    }
+
+    #[test]
+    fn volatile_designs_are_rejected() {
+        let err = run_variation_mc(
+            DesignKind::Cmos16T,
+            &TechCard::hp45(),
+            &Geometry::default(),
+            &SearchTiming::fast(),
+            4,
+            &VariationParams::default(),
+        );
+        assert!(matches!(err, Err(CellError::UnsupportedOperation(_))));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let card = TechCard::hp45();
+        let geo = Geometry::default();
+        let t = SearchTiming::fast();
+        let mk = |threads| VariationParams {
+            sigma_vth: 0.05,
+            samples: 4,
+            seed: 7,
+            threads,
+        };
+        let a = run_variation_mc(DesignKind::FeFet2T, &card, &geo, &t, 8, &mk(1)).unwrap();
+        let b = run_variation_mc(DesignKind::FeFet2T, &card, &geo, &t, 8, &mk(4)).unwrap();
+        assert_eq!(a.match_margins, b.match_margins);
+        assert_eq!(a.failures, b.failures);
+    }
+}

@@ -1,0 +1,16 @@
+//! Criterion bench regenerating experiment `fig11` (quick preset).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcam_bench::run_quick;
+use ftcam_core::Evaluator;
+
+fn bench(c: &mut Criterion) {
+    let eval = Evaluator::standard();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig11", |b| b.iter(|| run_quick(&eval, "fig11")));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the simulation kernels themselves (not the
+//! experiments): one transistor-level search per design, a calibration,
+//! and the pure-algorithmic golden model. These expose where wall-clock
+//! time goes when the experiment harness runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftcam_cells::{DesignKind, RowTestbench, SearchTiming};
+use ftcam_devices::TechCard;
+use ftcam_workloads::{IpRoutingWorkload, IpRoutingWorkloadParams, TernaryWord};
+
+fn bench_row_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_search_w16");
+    group.sample_size(10);
+    let stored: TernaryWord = "1011011010110110".parse().expect("valid word");
+    let miss = stored.with_spread_mismatches(4);
+    let timing = SearchTiming::default();
+    for kind in [DesignKind::Cmos16T, DesignKind::FeFet2T, DesignKind::EaFull] {
+        group.bench_function(kind.key(), |b| {
+            b.iter_batched(
+                || {
+                    let mut row = RowTestbench::new(
+                        kind.instantiate(),
+                        TechCard::hp45(),
+                        Default::default(),
+                        16,
+                    )
+                    .expect("testbench builds");
+                    row.program_word(&stored).expect("programs");
+                    row
+                },
+                |mut row| row.search(&miss, &timing).expect("search runs"),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_golden_model(c: &mut Criterion) {
+    let workload = IpRoutingWorkload::new(IpRoutingWorkloadParams {
+        entries: 1024,
+        queries: 1024,
+        ..Default::default()
+    })
+    .generate();
+    c.bench_function("golden_model_1k_x_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &workload.queries {
+                if workload.table.search(q).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+criterion_group!(benches, bench_row_search, bench_golden_model);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating experiment `table1` (quick preset).
+//!
+//! The first iteration pays the transistor-level calibration; the shared
+//! evaluator caches it for subsequent iterations, so the reported time is
+//! the marginal cost of regenerating the artefact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcam_bench::run_quick;
+use ftcam_core::Evaluator;
+
+fn bench(c: &mut Criterion) {
+    let eval = Evaluator::standard();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(|| run_quick(&eval, "table1")));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The experiment harness: regenerates every table and figure of the
+//! (reconstructed) evaluation and prints/serialises them.
+//!
+//! ```text
+//! experiments [--full] [--out DIR] [ID ...]
+//!
+//!   --full      paper-scale presets (slow; use a release build)
+//!   --out DIR   artefact directory (default target/experiments)
+//!   ID          experiment ids (default: all)
+//!               fig2 fig3 table1 fig4 fig5 fig6 fig7 fig8 table2 fig9
+//!               fig10 table3
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ftcam_bench::{save_artifact, DEFAULT_OUT_DIR};
+use ftcam_core::{experiments, plot_figure, Artifact, Evaluator};
+
+fn main() -> ExitCode {
+    let mut full = false;
+    let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--full] [--out DIR] [ID ...]\nids: {}",
+                    experiments::ALL_IDS.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let eval = Evaluator::standard();
+    println!(
+        "# ftcam experiments ({} preset) — {} experiment(s)\n",
+        if full { "full" } else { "quick" },
+        ids.len()
+    );
+    let mut failed = false;
+    for id in &ids {
+        let started = Instant::now();
+        match experiments::run_by_id(&eval, id, full) {
+            Ok(artifact) => {
+                println!("{}", artifact.to_markdown());
+                if let Artifact::Figure(fig) = &artifact {
+                    println!("{}", plot_figure(fig, 64, 14));
+                }
+                match save_artifact(&out_dir, &artifact) {
+                    Ok(path) => println!(
+                        "_saved to {} in {:.1} s_\n",
+                        path.display(),
+                        started.elapsed().as_secs_f64()
+                    ),
+                    Err(e) => {
+                        eprintln!("failed to save {id}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared plumbing for the `experiments` binary and the criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ftcam_core::{Artifact, Evaluator};
+
+/// Where experiment artefacts are written by default.
+pub const DEFAULT_OUT_DIR: &str = "target/experiments";
+
+/// Serialises an artefact as JSON (always) and CSV (figures) under `dir`.
+///
+/// Returns the JSON path.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or file writes.
+pub fn save_artifact(dir: &Path, artifact: &Artifact) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{}.json", artifact.id()));
+    let json = serde_json::to_string_pretty(artifact).expect("artifacts serialise");
+    fs::write(&json_path, json)?;
+    if let Artifact::Figure(fig) = artifact {
+        fs::write(dir.join(format!("{}.csv", fig.id)), fig.to_csv())?;
+    }
+    Ok(json_path)
+}
+
+/// Runs one experiment end-to-end for the benches: quick preset, shared
+/// evaluator (calibrations cached across iterations).
+///
+/// # Panics
+///
+/// Panics if the experiment fails — a bench has no error channel.
+pub fn run_quick(eval: &Evaluator, id: &str) -> Artifact {
+    ftcam_core::experiments::run_by_id(eval, id, false)
+        .unwrap_or_else(|e| panic!("experiment {id} failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcam_core::Table;
+
+    #[test]
+    fn save_writes_json() {
+        let dir = std::env::temp_dir().join("ftcam-bench-test");
+        let t = Table::new("t0", "demo", vec!["a".into()]);
+        let path = save_artifact(&dir, &Artifact::Table(t)).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for cell/testbench operations.
+
+use ftcam_circuit::CircuitError;
+
+/// Errors from building or exercising a TCAM row testbench.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CellError {
+    /// The underlying circuit simulation failed.
+    Circuit(CircuitError),
+    /// A word or query width did not match the testbench width.
+    WidthMismatch {
+        /// Width the testbench was built with.
+        expected: usize,
+        /// Width of the offending word.
+        got: usize,
+    },
+    /// The operation requires a non-volatile design (transient write on the
+    /// CMOS baseline, for example).
+    UnsupportedOperation(String),
+    /// An invalid parameter (zero width, bad segment count, ...).
+    InvalidParameter(String),
+    /// A calibration run produced an electrically wrong decision — the
+    /// configuration (timing, sizing, threshold) is outside the design's
+    /// operating envelope and the numbers would be garbage.
+    CalibrationDecisionError {
+        /// The design key.
+        design: String,
+        /// Word width being calibrated.
+        width: usize,
+        /// Mismatch count whose search decided incorrectly.
+        mismatches: usize,
+    },
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Circuit(e) => write!(f, "circuit simulation failed: {e}"),
+            Self::WidthMismatch { expected, got } => {
+                write!(f, "word width {got} does not match testbench width {expected}")
+            }
+            Self::UnsupportedOperation(msg) => write!(f, "unsupported operation: {msg}"),
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::CalibrationDecisionError {
+                design,
+                width,
+                mismatches,
+            } => write!(
+                f,
+                "calibration of `{design}` at width {width} decided a {mismatches}-mismatch search incorrectly (configuration outside the operating envelope)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CellError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CellError {
+    fn from(e: CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_circuit_errors() {
+        let e: CellError = CircuitError::CannotPinGround.into();
+        assert!(matches!(e, CellError::Circuit(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end validation of the multi-level (analog) CAM extension.
+
+use ftcam_cells::{LevelRange, McamRow, SearchTiming};
+use ftcam_devices::TechCard;
+
+fn row(width: usize) -> McamRow {
+    McamRow::new(TechCard::hp45(), Default::default(), width).expect("row builds")
+}
+
+#[test]
+fn range_matching_inside_and_outside() {
+    let timing = SearchTiming::relaxed();
+    let mut row = row(2);
+    row.program(&[LevelRange::new(0.25, 0.75), LevelRange::any()])
+        .unwrap();
+
+    // Level inside the range on cell 0, anything on cell 1.
+    let hit = row.search(&[0.5, 0.9], &timing).unwrap();
+    assert!(row.golden_matches(&[0.5, 0.9]));
+    assert!(
+        hit.matched,
+        "in-range level misread (margin {:.3})",
+        hit.sense_margin
+    );
+
+    // Above the upper bound.
+    let above = row.search(&[0.95, 0.5], &timing).unwrap();
+    assert!(!row.golden_matches(&[0.95, 0.5]));
+    assert!(!above.matched, "above-range level matched");
+
+    // Below the lower bound (the complement-driven FeFET path).
+    let below = row.search(&[0.05, 0.5], &timing).unwrap();
+    assert!(!below.matched, "below-range level matched");
+}
+
+#[test]
+fn quantised_two_bit_exact_match() {
+    let timing = SearchTiming::relaxed();
+    let bits = 2;
+    let mut row = row(4);
+    let digits = [2usize, 0, 3, 1];
+    row.program_quantized(&digits, bits).unwrap();
+
+    // Exact digits match.
+    let levels = McamRow::quantized_levels(&digits, bits);
+    let out = row.search(&levels, &timing).unwrap();
+    assert!(out.matched, "exact quantised query misread");
+
+    // One digit off by one level mismatches.
+    let off = [2usize, 1, 3, 1];
+    let out = row
+        .search(&McamRow::quantized_levels(&off, bits), &timing)
+        .unwrap();
+    assert!(!out.matched, "adjacent-level query matched");
+}
+
+#[test]
+fn capacity_doubles_against_binary_tcam() {
+    // 8 equivalent bits: 8 binary cells vs 4 two-bit cells.
+    let row2 = row(4);
+    assert_eq!(row2.equivalent_bits(2), 8);
+    let row1 = row(8);
+    assert_eq!(row1.equivalent_bits(1), 8);
+}
+
+#[test]
+fn dont_care_cells_never_discharge() {
+    let timing = SearchTiming::relaxed();
+    let mut row = row(3);
+    row.program(&[
+        LevelRange::any(),
+        LevelRange::any(),
+        LevelRange::new(0.4, 0.6),
+    ])
+    .unwrap();
+    for probe in [0.0, 0.5, 1.0] {
+        let out = row.search(&[probe, 1.0 - probe, 0.5], &timing).unwrap();
+        assert!(out.matched, "don't-care cell discharged at level {probe}");
+    }
+}

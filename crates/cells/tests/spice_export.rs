@@ -1,0 +1,63 @@
+//! The exported SPICE deck of a testbench is structurally sound.
+
+use ftcam_cells::{DesignKind, RowTestbench};
+use ftcam_devices::TechCard;
+
+fn deck(kind: DesignKind, width: usize) -> String {
+    let mut row = RowTestbench::new(
+        kind.instantiate(),
+        TechCard::hp45(),
+        Default::default(),
+        width,
+    )
+    .expect("testbench builds");
+    let word: ftcam_workloads::TernaryWord = ftcam_workloads::TernaryWord::from_bits(0b1010, width);
+    row.program_word(&word).expect("programs");
+    row.to_spice()
+}
+
+#[test]
+fn fefet_deck_contains_cells_drivers_and_rails() {
+    let deck = deck(DesignKind::FeFet2T, 4);
+    assert!(deck.contains("Vpin_VPRE0"));
+    assert!(deck.contains("Vpin_SL0"));
+    assert!(deck.contains("Vpin_SLB3"));
+    // 8 FeFETs as subcircuit calls.
+    assert_eq!(deck.matches("FEFET_MFIS").count(), 8);
+    // Driver resistors for every line (sl and slb separately).
+    let slb = deck.lines().filter(|l| l.starts_with("Rr_slb")).count();
+    let sl = deck.lines().filter(|l| l.starts_with("Rr_sl")).count() - slb;
+    assert_eq!(sl, 4);
+    assert_eq!(slb, 4);
+    assert!(deck.contains("Cc_ml_wire0"));
+    assert!(deck.trim_end().ends_with(".end"));
+}
+
+#[test]
+fn cmos_deck_emits_mosfets_with_models() {
+    let deck = deck(DesignKind::Cmos16T, 2);
+    // 4 compare transistors per cell + precharge PMOS.
+    assert_eq!(deck.matches("\n.model MOD_").count(), 2 * 4 + 1);
+    assert!(deck.contains("NMOS(VTO="));
+    assert!(deck.contains("PMOS(VTO="));
+    // SRAM rails are pinned sources.
+    assert!(deck.contains("Vpin_D0"));
+    assert!(deck.contains("Vpin_DB1"));
+}
+
+#[test]
+fn decks_grow_with_width_and_stay_line_oriented() {
+    let d4 = deck(DesignKind::FeFet2T, 4);
+    let mut row = RowTestbench::new(
+        DesignKind::FeFet2T.instantiate(),
+        TechCard::hp45(),
+        Default::default(),
+        8,
+    )
+    .unwrap();
+    row.program_word(&"10101010".parse().unwrap()).unwrap();
+    let d8 = row.to_spice();
+    assert!(d8.lines().count() > d4.lines().count());
+    // No empty device lines.
+    assert!(d8.lines().all(|l| !l.trim_end().is_empty() || l.is_empty()));
+}

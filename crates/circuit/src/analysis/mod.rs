@@ -1,0 +1,8 @@
+//! Circuit analyses: DC operating point and transient.
+
+mod dc;
+mod newton;
+mod transient;
+
+pub use dc::{DcOperatingPoint, DcResult};
+pub use transient::{InitialState, RecordMode, Transient, TransientOpts};

@@ -1,0 +1,186 @@
+//! Shared Newton–Raphson kernel used by the DC and transient analyses.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::linalg::SystemMatrix;
+use crate::stamp::{IntegrationMethod, StampCtx, StampMode, VarMap};
+
+/// Convergence and robustness knobs for the Newton iteration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonSettings {
+    /// Absolute voltage tolerance (volts).
+    pub abstol_v: f64,
+    /// Absolute branch-current tolerance (amps).
+    pub abstol_i: f64,
+    /// Relative tolerance applied to both voltages and currents.
+    pub reltol: f64,
+    /// Iteration cap for nonlinear circuits.
+    pub max_iters: usize,
+    /// Largest per-iteration voltage move before the update is scaled down
+    /// (damps exponential devices during early iterations).
+    pub max_voltage_step: f64,
+    /// Shunt conductance from every free node to ground.
+    pub gmin: f64,
+}
+
+impl Default for NewtonSettings {
+    fn default() -> Self {
+        Self {
+            abstol_v: 1e-6,
+            abstol_i: 1e-12,
+            reltol: 1e-4,
+            max_iters: 120,
+            max_voltage_step: 0.5,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// Reusable buffers for the Newton iteration (avoids per-step allocation).
+///
+/// The system matrix backend is picked from the unknown count: dense
+/// partial-pivot LU for small systems, sparse no-pivot LU (with symbolic
+/// reuse and automatic dense fallback) for large ones — see
+/// [`crate::linalg::SystemMatrix`].
+#[derive(Debug)]
+pub(crate) struct NewtonWorkspace {
+    pub matrix: SystemMatrix,
+    pub rhs: Vec<f64>,
+    pub x_new: Vec<f64>,
+}
+
+impl NewtonWorkspace {
+    pub fn new(n: usize) -> Self {
+        Self {
+            matrix: SystemMatrix::auto(n),
+            rhs: vec![0.0; n],
+            x_new: vec![0.0; n],
+        }
+    }
+}
+
+/// Runs Newton–Raphson at one time point, updating `x` in place.
+///
+/// Returns the number of iterations used.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve(
+    circuit: &Circuit,
+    vars: &VarMap,
+    x: &mut [f64],
+    pinned: &[f64],
+    time: f64,
+    dt: Option<f64>,
+    method: IntegrationMethod,
+    settings: &NewtonSettings,
+    ws: &mut NewtonWorkspace,
+) -> Result<usize, CircuitError> {
+    let n = vars.n_unknowns();
+    debug_assert_eq!(x.len(), n);
+    if n == 0 {
+        return Ok(0);
+    }
+    let max_iters = if circuit.has_nonlinear_devices() {
+        settings.max_iters
+    } else {
+        // One assembly + solve is exact for linear systems; a second pass
+        // confirms the delta is below tolerance.
+        2
+    };
+    for iter in 0..max_iters {
+        ws.matrix.clear();
+        ws.rhs.fill(0.0);
+        {
+            let mut ctx = StampCtx {
+                mode: StampMode::Assemble {
+                    matrix: &mut ws.matrix,
+                    rhs: &mut ws.rhs,
+                },
+                vars,
+                x,
+                pinned,
+                time,
+                dt,
+                method,
+            };
+            for dev in &circuit.devices {
+                dev.stamp(&mut ctx);
+            }
+        }
+        // gmin shunt on free node diagonals keeps floating nodes solvable.
+        for col in 0..vars.n_free {
+            ws.matrix.add(col, col, settings.gmin);
+        }
+        ws.x_new.copy_from_slice(&ws.rhs);
+        ws.matrix.solve_in_place(&mut ws.x_new)?;
+
+        // Damped update + convergence check. Damping only matters for
+        // nonlinear devices (it bounds the argument fed to exponentials);
+        // for linear systems the undamped solve is exact.
+        let scale = if circuit.has_nonlinear_devices() {
+            let mut max_dv: f64 = 0.0;
+            for col in 0..vars.n_free {
+                max_dv = max_dv.max((ws.x_new[col] - x[col]).abs());
+            }
+            if max_dv > settings.max_voltage_step {
+                settings.max_voltage_step / max_dv
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        let mut converged = true;
+        for (col, xi) in x.iter_mut().enumerate() {
+            let delta = (ws.x_new[col] - *xi) * scale;
+            let (abstol, magnitude) = if col < vars.n_free {
+                (settings.abstol_v, ws.x_new[col].abs())
+            } else {
+                (settings.abstol_i, ws.x_new[col].abs())
+            };
+            if delta.abs() > abstol + settings.reltol * magnitude {
+                converged = false;
+            }
+            *xi += delta;
+        }
+        if converged && (scale == 1.0) && iter > 0 {
+            return Ok(iter + 1);
+        }
+        // Linear circuits: solution after first full (unscaled) update is
+        // exact; accept immediately to save a reassembly.
+        if !circuit.has_nonlinear_devices() && scale == 1.0 {
+            return Ok(iter + 1);
+        }
+    }
+    Err(CircuitError::NewtonDiverged {
+        time,
+        iterations: max_iters,
+    })
+}
+
+/// Runs the measure pass at the converged solution, filling `current_out`
+/// (net current leaving each node into devices, indexed by node).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn measure_currents(
+    circuit: &Circuit,
+    vars: &VarMap,
+    x: &[f64],
+    pinned: &[f64],
+    time: f64,
+    dt: Option<f64>,
+    method: IntegrationMethod,
+    current_out: &mut [f64],
+) {
+    current_out.fill(0.0);
+    let mut ctx = StampCtx {
+        mode: StampMode::Measure { current_out },
+        vars,
+        x,
+        pinned,
+        time,
+        dt,
+        method,
+    };
+    for dev in &circuit.devices {
+        dev.stamp(&mut ctx);
+    }
+}

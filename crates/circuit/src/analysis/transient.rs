@@ -1,0 +1,357 @@
+//! Transient analysis driver.
+
+use std::collections::HashMap;
+
+use crate::analysis::dc::solve_dc;
+use crate::analysis::newton::{self, NewtonSettings, NewtonWorkspace};
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::node::NodeId;
+use crate::probe::{TraceStore, TransientResult};
+use crate::stamp::{CommitCtx, IntegrationMethod, VarKind};
+
+/// How the initial state of a transient is established.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum InitialState {
+    /// Solve the DC operating point at `t = 0` (SPICE default).
+    #[default]
+    DcOperatingPoint,
+    /// Skip the DC solve; free nodes start at 0 V (or the value given in
+    /// the map) and devices honour their own initial conditions.
+    UseInitialConditions(HashMap<NodeId, f64>),
+}
+
+/// Which signals are recorded sample-by-sample.
+///
+/// Pinned-source currents/powers and per-device energies are always
+/// accumulated; this only controls node-voltage traces (the dominant memory
+/// cost for Monte-Carlo sweeps).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum RecordMode {
+    /// Record every node voltage (default; convenient for debugging and
+    /// waveform figures).
+    #[default]
+    AllNodes,
+    /// Record only the listed nodes.
+    Nodes(Vec<NodeId>),
+    /// Record no node voltages (energy/current accounting only).
+    None,
+}
+
+/// Options for a [`Transient`] run.
+#[derive(Debug, Clone)]
+pub struct TransientOpts {
+    /// Base time step (seconds).
+    pub dt: f64,
+    /// Stop time (seconds).
+    pub t_stop: f64,
+    /// Integration method for reactive companion models.
+    pub method: IntegrationMethod,
+    /// Initial-state policy.
+    pub init: InitialState,
+    /// Node-voltage recording policy.
+    pub record: RecordMode,
+    /// Smallest step accepted while recovering from Newton failures.
+    pub dt_min: f64,
+    /// Newton tolerances.
+    pub(crate) newton: NewtonSettings,
+}
+
+impl TransientOpts {
+    /// Creates options with the given base step and stop time.
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        Self {
+            dt,
+            t_stop,
+            method: IntegrationMethod::default(),
+            init: InitialState::default(),
+            record: RecordMode::default(),
+            dt_min: dt * 1e-6,
+            newton: NewtonSettings::default(),
+        }
+    }
+
+    /// Uses trapezoidal integration instead of backward Euler.
+    pub fn with_method(mut self, method: IntegrationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Starts from device initial conditions instead of a DC solve.
+    pub fn use_initial_conditions(mut self) -> Self {
+        self.init = InitialState::UseInitialConditions(HashMap::new());
+        self
+    }
+
+    /// Starts from the given node voltages (implies *use initial conditions*).
+    pub fn with_initial_voltages(mut self, voltages: HashMap<NodeId, f64>) -> Self {
+        self.init = InitialState::UseInitialConditions(voltages);
+        self
+    }
+
+    /// Sets the node-voltage recording policy.
+    pub fn with_record(mut self, record: RecordMode) -> Self {
+        self.record = record;
+        self
+    }
+
+    fn validate(&self) -> Result<(), CircuitError> {
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err(CircuitError::InvalidOption(format!(
+                "dt must be positive, got {}",
+                self.dt
+            )));
+        }
+        if !(self.t_stop > 0.0 && self.t_stop.is_finite()) {
+            return Err(CircuitError::InvalidOption(format!(
+                "t_stop must be positive, got {}",
+                self.t_stop
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The transient analysis.
+///
+/// Fixed base step with:
+///
+/// * breakpoint alignment — steps land exactly on source edges,
+/// * automatic step halving when Newton fails, recovering the base step
+///   afterwards,
+/// * a *measure* pass after every accepted step that recovers the current
+///   delivered by each pinned source and integrates per-source energy.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    opts: TransientOpts,
+}
+
+impl Transient {
+    /// Creates the analysis from options.
+    pub fn new(opts: TransientOpts) -> Self {
+        Self { opts }
+    }
+
+    /// Runs the transient on `circuit`.
+    ///
+    /// The circuit's device state (capacitor charges, FeFET polarization) is
+    /// mutated by the run and reflects the final instant afterwards, so
+    /// consecutive transients compose (program, then search).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::NewtonDiverged`] / [`CircuitError::SingularMatrix`]
+    ///   if the initial state cannot be solved.
+    /// * [`CircuitError::StepSizeUnderflow`] if step halving reaches
+    ///   `dt_min` without convergence.
+    /// * [`CircuitError::InvalidOption`] for nonsensical options.
+    pub fn run(&self, circuit: &mut Circuit) -> Result<TransientResult, CircuitError> {
+        self.opts.validate()?;
+        let opts = &self.opts;
+        let vars = circuit.build_var_map();
+        let n = vars.n_unknowns();
+        let mut ws = NewtonWorkspace::new(n);
+        let mut x = vec![0.0; n];
+        let mut pinned = Vec::new();
+        circuit.pinned_values_at(0.0, &mut pinned);
+
+        // --- Initial state -------------------------------------------------
+        let uic = match &opts.init {
+            InitialState::DcOperatingPoint => {
+                let (x0, _) = solve_dc(circuit, &vars, &opts.newton)?;
+                x = x0;
+                false
+            }
+            InitialState::UseInitialConditions(map) => {
+                for (&node, &v) in map {
+                    if let VarKind::Free(col) = vars.kinds[node.index()] {
+                        x[col] = v;
+                    }
+                }
+                true
+            }
+        };
+        {
+            let ctx = CommitCtx {
+                vars: &vars,
+                x: &x,
+                pinned: &pinned,
+                time: 0.0,
+                dt: None,
+                method: opts.method,
+            };
+            for dev in circuit.devices.iter_mut() {
+                dev.init(&ctx, uic);
+            }
+        }
+
+        // --- Recording setup ----------------------------------------------
+        let recorded: Vec<NodeId> = match &opts.record {
+            RecordMode::AllNodes => circuit.nodes().map(|(id, _)| id).collect(),
+            RecordMode::Nodes(list) => list.clone(),
+            RecordMode::None => Vec::new(),
+        };
+        let mut store = TraceStore::new(circuit, &recorded);
+        let n_pins = circuit.pin_count();
+        let n_devices = circuit.device_count();
+        let mut current_out = vec![0.0; circuit.node_count()];
+        let mut pin_power_prev = vec![0.0; n_pins];
+        let mut device_power_prev = vec![0.0; n_devices];
+        let mut pin_energy = vec![0.0; n_pins];
+        let mut device_energy = vec![0.0; n_devices];
+        let mut max_kcl = 0.0f64;
+        let mut newton_iters = 0usize;
+        let mut steps = 0usize;
+
+        // Sample at t = 0.
+        newton::measure_currents(
+            circuit,
+            &vars,
+            &x,
+            &pinned,
+            0.0,
+            None,
+            opts.method,
+            &mut current_out,
+        );
+        for (p, pin) in circuit.pins.iter().enumerate() {
+            let i = current_out[pin.node.index()];
+            pin_power_prev[p] = pinned[p] * i;
+            store.push_pin(p, i, pin_power_prev[p]);
+        }
+        {
+            let ctx = CommitCtx {
+                vars: &vars,
+                x: &x,
+                pinned: &pinned,
+                time: 0.0,
+                dt: None,
+                method: opts.method,
+            };
+            for (d, dev) in circuit.devices.iter().enumerate() {
+                device_power_prev[d] = dev.dissipated_power(&ctx).unwrap_or(0.0);
+            }
+            store.push_sample(0.0, &ctx, &pin_energy);
+        }
+
+        // --- Time stepping --------------------------------------------------
+        let breakpoints = circuit.collect_breakpoints(opts.t_stop);
+        let mut bp_iter = breakpoints.into_iter().peekable();
+        let mut t = 0.0f64;
+        let t_eps = opts.t_stop * 1e-12;
+        while t < opts.t_stop - t_eps {
+            // Advance past consumed breakpoints.
+            while let Some(&bp) = bp_iter.peek() {
+                if bp <= t + t_eps {
+                    bp_iter.next();
+                } else {
+                    break;
+                }
+            }
+            let seg_end = bp_iter
+                .peek()
+                .copied()
+                .unwrap_or(opts.t_stop)
+                .min(opts.t_stop);
+            let mut dt = opts.dt.min(seg_end - t);
+            // Avoid a sliver step at the end of a segment.
+            if seg_end - (t + dt) < opts.dt * 1e-3 {
+                dt = seg_end - t;
+            }
+
+            // Attempt the step, halving on Newton failure.
+            let mut x_try;
+            loop {
+                if dt < opts.dt_min {
+                    return Err(CircuitError::StepSizeUnderflow { time: t, dt });
+                }
+                let t_next = t + dt;
+                circuit.pinned_values_at(t_next, &mut pinned);
+                x_try = x.clone();
+                match newton::solve(
+                    circuit,
+                    &vars,
+                    &mut x_try,
+                    &pinned,
+                    t_next,
+                    Some(dt),
+                    opts.method,
+                    &opts.newton,
+                    &mut ws,
+                ) {
+                    Ok(iters) => {
+                        newton_iters += iters;
+                        break;
+                    }
+                    Err(CircuitError::NewtonDiverged { .. }) => {
+                        dt *= 0.5;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let t_next = t + dt;
+            x = x_try;
+
+            // Measure pass BEFORE commit: companion models must still see
+            // the previous state so capacitor/FeFET currents are exact.
+            newton::measure_currents(
+                circuit,
+                &vars,
+                &x,
+                &pinned,
+                t_next,
+                Some(dt),
+                opts.method,
+                &mut current_out,
+            );
+            for (idx, kind) in vars.kinds.iter().enumerate() {
+                if matches!(kind, VarKind::Free(_)) {
+                    max_kcl = max_kcl.max(current_out[idx].abs());
+                }
+            }
+            // Commit device state, then account energies at the new state.
+            {
+                let ctx = CommitCtx {
+                    vars: &vars,
+                    x: &x,
+                    pinned: &pinned,
+                    time: t_next,
+                    dt: Some(dt),
+                    method: opts.method,
+                };
+                for dev in circuit.devices.iter_mut() {
+                    dev.commit(&ctx);
+                }
+            }
+            {
+                let ctx = CommitCtx {
+                    vars: &vars,
+                    x: &x,
+                    pinned: &pinned,
+                    time: t_next,
+                    dt: Some(dt),
+                    method: opts.method,
+                };
+                for (p, pin) in circuit.pins.iter().enumerate() {
+                    let i = current_out[pin.node.index()];
+                    let power = pinned[p] * i;
+                    pin_energy[p] += 0.5 * (pin_power_prev[p] + power) * dt;
+                    pin_power_prev[p] = power;
+                    store.push_pin(p, i, power);
+                }
+                for (d, dev) in circuit.devices.iter().enumerate() {
+                    let power = dev.dissipated_power(&ctx).unwrap_or(0.0);
+                    device_energy[d] += 0.5 * (device_power_prev[d] + power) * dt;
+                    device_power_prev[d] = power;
+                }
+                store.push_sample(t_next, &ctx, &pin_energy);
+            }
+            t = t_next;
+            steps += 1;
+        }
+
+        Ok(store.finish(pin_energy, device_energy, max_kcl, newton_iters, steps))
+    }
+}

@@ -1,0 +1,406 @@
+//! The [`Circuit`] netlist container.
+
+use std::collections::HashMap;
+
+use crate::device::{Device, DeviceId};
+use crate::error::CircuitError;
+use crate::node::NodeId;
+use crate::stamp::{VarKind, VarMap};
+use crate::waveform::Waveform;
+
+/// Handle to a pinned ideal source inside a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PinId(pub(crate) u32);
+
+impl PinId {
+    /// Raw index of the pin in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Pin {
+    pub node: NodeId,
+    pub label: String,
+    pub wave: Waveform,
+}
+
+/// A circuit under construction: nodes, devices and pinned ideal sources.
+///
+/// # Pinned sources
+///
+/// [`Circuit::pin`] attaches an ideal voltage source between a node and
+/// ground and *eliminates the node from the unknown vector*: the node's
+/// voltage is simply the waveform value at each instant. This is how supply
+/// rails, search-line drivers and held SRAM internals are modelled. The
+/// current each pinned source delivers is recovered after every accepted
+/// step and integrated into per-source energies — the central observable of
+/// the TCAM evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_circuit::{Circuit, elements::Resistor, waveform::Waveform};
+///
+/// # fn main() -> Result<(), ftcam_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.node("vdd");
+/// let out = ckt.node("out");
+/// ckt.pin(vdd, "VDD", Waveform::dc(0.8))?;
+/// ckt.add(Resistor::new(vdd, out, 1e3));
+/// ckt.add(Resistor::new(out, ckt.ground(), 3e3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    pub(crate) devices: Vec<Box<dyn Device>>,
+    device_labels: Vec<String>,
+    pub(crate) pins: Vec<Pin>,
+    pin_of_node: HashMap<NodeId, PinId>,
+    fresh_counter: u64,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut ckt = Self {
+            node_names: vec!["gnd".to_string()],
+            ..Self::default()
+        };
+        ckt.name_index.insert("gnd".to_string(), NodeId::GROUND);
+        ckt
+    }
+
+    /// The ground (reference) node.
+    pub fn ground(&self) -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.name_index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(name.to_string());
+        self.name_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Creates a new node with a unique, prefix-derived name.
+    ///
+    /// Useful for netlist generators that instantiate many anonymous
+    /// internal nodes.
+    pub fn fresh_node(&mut self, prefix: &str) -> NodeId {
+        loop {
+            let name = format!("{prefix}#{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.name_index.contains_key(&name) {
+                return self.node(&name);
+            }
+        }
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNodeName`] if no such node exists.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, CircuitError> {
+        self.name_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| CircuitError::UnknownNodeName(name.to_string()))
+    }
+
+    /// The name of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.index()]
+    }
+
+    /// Number of nodes, including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Iterates over `(id, name)` for every node.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.node_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n.as_str()))
+    }
+
+    /// Adds a device, returning its handle.
+    pub fn add<D: Device + 'static>(&mut self, device: D) -> DeviceId {
+        self.add_labeled(format!("dev{}", self.devices.len()), device)
+    }
+
+    /// Adds a device with an explicit label (used in energy reports).
+    pub fn add_labeled<D: Device + 'static>(
+        &mut self,
+        label: impl Into<String>,
+        device: D,
+    ) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(Box::new(device));
+        self.device_labels.push(label.into());
+        id
+    }
+
+    /// Number of devices in the netlist.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The label given to `device` at insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device does not belong to this circuit.
+    pub fn device_label(&self, device: DeviceId) -> &str {
+        &self.device_labels[device.index()]
+    }
+
+    /// Typed access to a device, for reprogramming state between analyses
+    /// (e.g. writing a FeFET's polarization before a search).
+    pub fn device_mut<D: Device>(&mut self, id: DeviceId) -> Option<&mut D> {
+        let dev: &mut dyn Device = self.devices.get_mut(id.index())?.as_mut();
+        (dev as &mut dyn std::any::Any).downcast_mut::<D>()
+    }
+
+    /// Typed shared access to a device.
+    pub fn device_ref<D: Device>(&self, id: DeviceId) -> Option<&D> {
+        let dev: &dyn Device = self.devices.get(id.index())?.as_ref();
+        (dev as &dyn std::any::Any).downcast_ref::<D>()
+    }
+
+    /// Pins `node` to an ideal source with the given waveform.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::CannotPinGround`] if `node` is ground.
+    /// * [`CircuitError::NodeAlreadyPinned`] if the node is already pinned.
+    /// * [`CircuitError::UnknownNode`] if the node id is out of range.
+    pub fn pin(
+        &mut self,
+        node: NodeId,
+        label: impl Into<String>,
+        wave: Waveform,
+    ) -> Result<PinId, CircuitError> {
+        if node.is_ground() {
+            return Err(CircuitError::CannotPinGround);
+        }
+        if node.index() >= self.node_names.len() {
+            return Err(CircuitError::UnknownNode(node));
+        }
+        if self.pin_of_node.contains_key(&node) {
+            return Err(CircuitError::NodeAlreadyPinned(node));
+        }
+        let id = PinId(self.pins.len() as u32);
+        self.pins.push(Pin {
+            node,
+            label: label.into(),
+            wave,
+        });
+        self.pin_of_node.insert(node, id);
+        Ok(id)
+    }
+
+    /// Replaces the waveform of an existing pin (e.g. to change the search
+    /// pattern between two transients on the same netlist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` does not belong to this circuit.
+    pub fn set_pin_waveform(&mut self, pin: PinId, wave: Waveform) {
+        self.pins[pin.index()].wave = wave;
+    }
+
+    /// The label of a pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` does not belong to this circuit.
+    pub fn pin_label(&self, pin: PinId) -> &str {
+        &self.pins[pin.index()].label
+    }
+
+    /// The node a pin drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` does not belong to this circuit.
+    pub fn pin_node(&self, pin: PinId) -> NodeId {
+        self.pins[pin.index()].node
+    }
+
+    /// Number of pinned sources.
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Evaluates all pin waveforms at time `t` into `out`.
+    pub(crate) fn pinned_values_at(&self, t: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.pins.iter().map(|p| p.wave.value(t)));
+    }
+
+    /// Builds the node → unknown mapping and assigns device branch indices.
+    pub(crate) fn build_var_map(&mut self) -> VarMap {
+        let mut kinds = vec![VarKind::Ground; self.node_names.len()];
+        let mut col = 0usize;
+        for (i, kind) in kinds.iter_mut().enumerate() {
+            let node = NodeId(i as u32);
+            if node.is_ground() {
+                *kind = VarKind::Ground;
+            } else if let Some(pin) = self.pin_of_node.get(&node) {
+                *kind = VarKind::Pinned(pin.index());
+            } else {
+                *kind = VarKind::Free(col);
+                col += 1;
+            }
+        }
+        let mut n_branches = 0usize;
+        for dev in &mut self.devices {
+            let count = dev.branch_count();
+            if count > 0 {
+                dev.assign_branches(n_branches);
+            }
+            n_branches += count;
+        }
+        VarMap {
+            kinds,
+            n_free: col,
+            n_branches,
+        }
+    }
+
+    /// Collects waveform breakpoints from pins and devices in `[0, t_stop]`.
+    pub(crate) fn collect_breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        let mut bps: Vec<f64> = Vec::new();
+        for pin in &self.pins {
+            bps.extend(pin.wave.breakpoints(t_stop));
+        }
+        for dev in &self.devices {
+            bps.extend(dev.breakpoints(t_stop));
+        }
+        bps.retain(|t| t.is_finite() && *t > 0.0 && *t < t_stop);
+        bps.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+        bps
+    }
+
+    /// `true` if any device is nonlinear (affects the Newton iteration cap).
+    pub(crate) fn has_nonlinear_devices(&self) -> bool {
+        self.devices.iter().any(|d| d.is_nonlinear())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Resistor;
+
+    #[test]
+    fn node_lookup_is_idempotent() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node_count(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+    }
+
+    #[test]
+    fn fresh_nodes_are_unique() {
+        let mut ckt = Circuit::new();
+        let a = ckt.fresh_node("ml");
+        let b = ckt.fresh_node("ml");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn find_node_errors_on_missing() {
+        let ckt = Circuit::new();
+        assert!(matches!(
+            ckt.find_node("nope"),
+            Err(CircuitError::UnknownNodeName(_))
+        ));
+    }
+
+    #[test]
+    fn cannot_pin_ground_or_double_pin() {
+        let mut ckt = Circuit::new();
+        let gnd = ckt.ground();
+        assert_eq!(
+            ckt.pin(gnd, "x", Waveform::dc(0.0)),
+            Err(CircuitError::CannotPinGround)
+        );
+        let n = ckt.node("vdd");
+        ckt.pin(n, "VDD", Waveform::dc(1.0)).unwrap();
+        assert!(matches!(
+            ckt.pin(n, "VDD2", Waveform::dc(1.0)),
+            Err(CircuitError::NodeAlreadyPinned(_))
+        ));
+    }
+
+    #[test]
+    fn var_map_skips_ground_and_pinned() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let mid = ckt.node("mid");
+        ckt.pin(vdd, "VDD", Waveform::dc(1.0)).unwrap();
+        ckt.add(Resistor::new(vdd, mid, 1e3));
+        ckt.add(Resistor::new(mid, ckt.ground(), 1e3));
+        let vars = ckt.build_var_map();
+        assert_eq!(vars.n_free, 1);
+        assert_eq!(vars.n_branches, 0);
+        assert_eq!(vars.kinds[0], VarKind::Ground);
+        assert_eq!(vars.kinds[vdd.index()], VarKind::Pinned(0));
+        assert_eq!(vars.kinds[mid.index()], VarKind::Free(0));
+    }
+
+    #[test]
+    fn typed_device_access_roundtrip() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let id = ckt.add(Resistor::new(a, ckt.ground(), 1e3));
+        let r: &Resistor = ckt.device_ref(id).unwrap();
+        assert_eq!(r.resistance(), 1e3);
+        let r: &mut Resistor = ckt.device_mut(id).unwrap();
+        r.set_resistance(2e3);
+        let r: &Resistor = ckt.device_ref(id).unwrap();
+        assert_eq!(r.resistance(), 2e3);
+    }
+
+    #[test]
+    fn breakpoints_are_sorted_and_deduped() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.pin(
+            a,
+            "A",
+            Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9),
+        )
+        .unwrap();
+        let b = ckt.node("b");
+        ckt.pin(
+            b,
+            "B",
+            Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9),
+        )
+        .unwrap();
+        let bps = ckt.collect_breakpoints(10e-9);
+        assert_eq!(bps.len(), 4); // duplicates merged
+        assert!(bps.windows(2).all(|w| w[0] < w[1]));
+    }
+}

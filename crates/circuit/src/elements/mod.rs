@@ -1,0 +1,19 @@
+//! Built-in linear and quasi-linear circuit elements.
+//!
+//! Semiconductor devices (MOSFET, FeFET, ReRAM) live in the `ftcam-devices`
+//! crate; this module provides the passives and sources every testbench
+//! needs: [`Resistor`], [`Capacitor`], [`VoltageSource`], [`CurrentSource`],
+//! [`TimedSwitch`] and an ideal [`Diode`] used mainly to exercise the Newton
+//! solver.
+
+mod capacitor;
+mod diode;
+mod resistor;
+mod sources;
+mod switch;
+
+pub use capacitor::Capacitor;
+pub use diode::Diode;
+pub use resistor::Resistor;
+pub use sources::{CurrentSource, VoltageSource};
+pub use switch::TimedSwitch;

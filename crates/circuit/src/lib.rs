@@ -1,0 +1,72 @@
+//! A modified-nodal-analysis (MNA) nonlinear transient circuit simulator.
+//!
+//! This crate is the SPICE substitute for the `ftcam` project: the original
+//! paper evaluates ferroelectric TCAM designs with proprietary SPICE decks
+//! and foundry device models, neither of which exist in the Rust ecosystem,
+//! so the analog substrate is built here from scratch.
+//!
+//! # Capabilities
+//!
+//! * **Netlist construction** — named nodes, two-terminal and multi-terminal
+//!   devices implementing the [`Device`] trait, and *pinned* ideal sources
+//!   (supply rails, drivers) whose nodes are eliminated from the unknown
+//!   vector for speed and robustness.
+//! * **DC operating point** — Newton–Raphson with `gmin` stepping.
+//! * **Transient analysis** — backward-Euler (default) or trapezoidal
+//!   integration, fixed base step with breakpoint alignment on source edges
+//!   and automatic step halving when Newton fails to converge.
+//! * **Measurement** — voltage probes on any node, per-pinned-source current
+//!   traces, and energy accounting (∫V·I dt per supply, per-device
+//!   dissipation), which is the core observable of the TCAM evaluation.
+//!
+//! # Example: RC discharge
+//!
+//! ```
+//! use ftcam_circuit::{Circuit, analysis::{Transient, TransientOpts}};
+//! use ftcam_circuit::elements::{Resistor, Capacitor};
+//!
+//! # fn main() -> Result<(), ftcam_circuit::CircuitError> {
+//! let mut ckt = Circuit::new();
+//! let n1 = ckt.node("cap_top");
+//! ckt.add(Resistor::new(n1, ckt.ground(), 1e3));          // 1 kΩ to ground
+//! ckt.add(Capacitor::with_initial_voltage(n1, ckt.ground(), 1e-12, 1.0));
+//! let opts = TransientOpts::new(1e-11, 5e-9).use_initial_conditions();
+//! let result = Transient::new(opts).run(&mut ckt)?;
+//! let v_end = result.trace("cap_top")?.last_value();
+//! // After 5τ (τ = RC = 1 ns) the cap has discharged to ~0.7% of 1 V.
+//! assert!(v_end < 0.02);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Design notes
+//!
+//! The solver uses a dense LU factorisation with partial pivoting. TCAM
+//! testbenches pin all drivers and supplies, leaving at most a few hundred
+//! unknowns, where dense linear algebra is both exact and fast; a sparse
+//! solver would add complexity with no benefit at this scale (see
+//! `DESIGN.md` §5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod circuit;
+mod device;
+pub mod elements;
+mod error;
+pub mod linalg;
+mod node;
+mod probe;
+mod spice;
+mod stamp;
+pub mod waveform;
+
+pub use circuit::{Circuit, PinId};
+pub use device::{Device, DeviceId};
+pub use error::CircuitError;
+pub use node::NodeId;
+pub use probe::{Edge, Trace, TransientResult};
+pub(crate) use spice::spice_waveform;
+pub use spice::{export_spice, format_spice_number};
+pub use stamp::{CommitCtx, IntegrationMethod, StampCtx};

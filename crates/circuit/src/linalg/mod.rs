@@ -1,0 +1,149 @@
+//! Linear algebra for MNA systems: dense partial-pivot LU, sparse no-pivot
+//! LU with reusable symbolic factorisation, and the [`SystemMatrix`]
+//! dispatcher that picks between them.
+
+mod dense;
+mod sparse;
+
+pub use dense::DenseMatrix;
+pub use sparse::SparseMatrix;
+
+use crate::error::CircuitError;
+
+/// Unknown-count threshold above which assembly defaults to the sparse
+/// backend (dense LU is faster below it and unconditionally robust).
+pub const SPARSE_THRESHOLD: usize = 90;
+
+/// The MNA system matrix behind an analysis, dense or sparse.
+///
+/// Stamping code only needs [`SystemMatrix::add`] / [`SystemMatrix::clear`]
+/// / [`SystemMatrix::solve_in_place`]; the backend is chosen once per
+/// analysis from the unknown count ([`SystemMatrix::auto`]). If the
+/// no-pivot sparse factorisation ever hits a bad pivot, the solve falls
+/// back to dense partial-pivot LU for that and all subsequent steps —
+/// correctness never depends on the sparse path.
+#[derive(Debug, Clone)]
+pub enum SystemMatrix {
+    /// Dense partial-pivot backend.
+    Dense(DenseMatrix),
+    /// Sparse no-pivot backend (with symbolic reuse).
+    Sparse(SparseMatrix),
+}
+
+impl SystemMatrix {
+    /// Picks the backend appropriate for `n` unknowns.
+    pub fn auto(n: usize) -> Self {
+        if n >= SPARSE_THRESHOLD {
+            SystemMatrix::Sparse(SparseMatrix::zeros(n))
+        } else {
+            SystemMatrix::Dense(DenseMatrix::zeros(n))
+        }
+    }
+
+    /// Forces the dense backend (used by tests and the fallback path).
+    pub fn dense(n: usize) -> Self {
+        SystemMatrix::Dense(DenseMatrix::zeros(n))
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            SystemMatrix::Dense(m) => m.dim(),
+            SystemMatrix::Sparse(m) => m.dim(),
+        }
+    }
+
+    /// `true` when the sparse backend is active.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, SystemMatrix::Sparse(_))
+    }
+
+    /// Zeroes all values, keeping structure.
+    pub fn clear(&mut self) {
+        match self {
+            SystemMatrix::Dense(m) => m.clear(),
+            SystemMatrix::Sparse(m) => m.clear(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)` — the stamping primitive.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        match self {
+            SystemMatrix::Dense(m) => m.add(row, col, value),
+            SystemMatrix::Sparse(m) => m.add(row, col, value),
+        }
+    }
+
+    /// Solves `A·x = b` in place, falling back from sparse to dense on a
+    /// bad pivot (and staying dense afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] only when the dense
+    /// partial-pivot factorisation itself fails (a genuinely singular
+    /// system: floating node or broken topology).
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), CircuitError> {
+        match self {
+            SystemMatrix::Dense(m) => m.solve_in_place(b),
+            SystemMatrix::Sparse(m) => match m.solve_in_place(b) {
+                Ok(()) => Ok(()),
+                Err(CircuitError::SingularMatrix { .. }) => {
+                    // Values are intact after a failed sparse solve;
+                    // permanently demote to the robust dense path.
+                    let mut dense = m.to_dense();
+                    let result = dense.solve_in_place(b);
+                    // The factorisation destroyed the copy, but the next
+                    // assembly restamps from scratch anyway.
+                    *self = SystemMatrix::Dense(dense);
+                    result
+                }
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_picks_by_size() {
+        assert!(!SystemMatrix::auto(10).is_sparse());
+        assert!(SystemMatrix::auto(SPARSE_THRESHOLD).is_sparse());
+    }
+
+    #[test]
+    fn sparse_falls_back_to_dense_on_bad_pivot() {
+        // A permutation matrix defeats no-pivot LU but is trivially
+        // solvable with partial pivoting.
+        let mut m = SystemMatrix::Sparse(SparseMatrix::zeros(2));
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let mut x = vec![7.0, 9.0];
+        m.solve_in_place(&mut x).expect("fallback solves");
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+        assert!(!m.is_sparse(), "demoted to dense after fallback");
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_through_the_dispatcher() {
+        let stamp = |m: &mut SystemMatrix| {
+            m.add(0, 0, 3.0);
+            m.add(1, 1, 4.0);
+            m.add(0, 1, -1.0);
+            m.add(1, 0, -2.0);
+        };
+        let mut d = SystemMatrix::dense(2);
+        let mut s = SystemMatrix::Sparse(SparseMatrix::zeros(2));
+        stamp(&mut d);
+        stamp(&mut s);
+        let mut xd = vec![1.0, 2.0];
+        let mut xs = vec![1.0, 2.0];
+        d.solve_in_place(&mut xd).unwrap();
+        s.solve_in_place(&mut xs).unwrap();
+        assert!((xd[0] - xs[0]).abs() < 1e-12);
+        assert!((xd[1] - xs[1]).abs() < 1e-12);
+    }
+}

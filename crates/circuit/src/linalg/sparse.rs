@@ -1,0 +1,444 @@
+//! Sparse LU solver for large MNA systems.
+//!
+//! The row testbenches pin every driver, so their MNA matrices are
+//! diagonally dominated conductance matrices with a handful of nonzeros per
+//! row (each node couples only to its neighbours plus a global match line).
+//! Dense LU costs O(n³); for the 300–600-unknown wide-word testbenches this
+//! dominates wall-clock time. This module implements the classic
+//! **up-looking row LU without pivoting**:
+//!
+//! 1. a one-time *symbolic* pass computes the union pattern of every row of
+//!    `L`/`U` including fill-in;
+//! 2. each *numeric* pass scatters a row into a dense workspace, eliminates
+//!    against the already-factorised rows following the precomputed
+//!    pattern, and gathers the results.
+//!
+//! Because the sparsity pattern of an MNA system is fixed across Newton
+//! iterations and time steps, the symbolic pass is paid once per analysis.
+//!
+//! No-pivot LU is safe here because every free node carries a positive
+//! `gmin` diagonal and device stamps only add non-negative diagonal
+//! conductance; if a pivot nevertheless collapses (e.g. exotic
+//! branch-source topologies), the caller falls back to the dense solver —
+//! see [`crate::linalg::SystemMatrix`].
+
+use std::collections::HashMap;
+
+use crate::error::CircuitError;
+
+/// Threshold below which a pivot is treated as numerically singular.
+const PIVOT_TOL: f64 = 1e-300;
+
+/// A sparse square matrix with a reusable no-pivot LU factorisation.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    n: usize,
+    /// Slot lookup: (row, col) → index into `values`.
+    slots: HashMap<(u32, u32), u32>,
+    /// Coordinates per slot, in insertion order.
+    coords: Vec<(u32, u32)>,
+    /// Current numeric values per slot.
+    values: Vec<f64>,
+    /// Symbolic factorisation, built lazily on first solve.
+    symbolic: Option<Symbolic>,
+}
+
+/// Precomputed elimination patterns (in permuted index space).
+#[derive(Debug, Clone)]
+struct Symbolic {
+    /// Symmetric fill-reducing permutation: `perm[new] = old`. Hubs (the
+    /// match line couples to every cell) are ordered last, where they
+    /// cause no fill; static degree ordering captures this exactly for
+    /// the star-shaped MNA graphs testbenches produce.
+    perm: Vec<u32>,
+    /// For each permuted row `i`: the strictly-lower column indices
+    /// (ascending) — the pivots row `i` eliminates against, including fill.
+    lower: Vec<Vec<u32>>,
+    /// For each permuted row `i`: the upper column indices `≥ i`
+    /// (ascending), including fill. `upper[i][0] == i` (the diagonal).
+    upper: Vec<Vec<u32>>,
+    /// For each permuted row `i`: `(permuted column, value-slot)` pairs of
+    /// the structural nonzeros of `A` (scatter list for the numeric pass).
+    row_slots: Vec<Vec<(u32, u32)>>,
+}
+
+impl SparseMatrix {
+    /// Creates an `n × n` all-zero sparse matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            slots: HashMap::new(),
+            coords: Vec::new(),
+            values: Vec::new(),
+            symbolic: None,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structurally nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Zeroes all values, keeping the structure (and the symbolic
+    /// factorisation if one was computed).
+    pub fn clear(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Adds `value` at `(row, col)` — the MNA stamping primitive.
+    ///
+    /// The first add at a new coordinate extends the structure and
+    /// invalidates the symbolic factorisation; subsequent adds are O(1)
+    /// hash lookups. Stamp patterns are fixed in MNA, so steady state is
+    /// reached after the first assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        let key = (row as u32, col as u32);
+        match self.slots.get(&key) {
+            Some(&slot) => self.values[slot as usize] += value,
+            None => {
+                let slot = self.values.len() as u32;
+                self.slots.insert(key, slot);
+                self.coords.push(key);
+                self.values.push(value);
+                self.symbolic = None;
+            }
+        }
+    }
+
+    /// Dense copy of the current values (for the fallback path and tests).
+    pub fn to_dense(&self) -> super::DenseMatrix {
+        let mut dense = super::DenseMatrix::zeros(self.n);
+        for (slot, &(r, c)) in self.coords.iter().enumerate() {
+            dense.add(r as usize, c as usize, self.values[slot]);
+        }
+        dense
+    }
+
+    /// Builds (or reuses) the symbolic factorisation.
+    fn ensure_symbolic(&mut self) {
+        if self.symbolic.is_some() {
+            return;
+        }
+        let n = self.n;
+        // Static fill-reducing ordering: sort indices by structural degree
+        // (off-diagonal nonzeros, symmetrised), lowest first. Leaves come
+        // first, hubs last — optimal for the star/arrowhead graphs MNA
+        // produces and never worse than natural order by more than the
+        // degree tie-breaking.
+        let mut degree = vec![0u32; n];
+        for &(r, c) in &self.coords {
+            if r != c {
+                degree[r as usize] += 1;
+                degree[c as usize] += 1;
+            }
+        }
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| (degree[i as usize], i));
+        let mut inv = vec![0u32; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        // Row-wise structural pattern of P·A·Pᵀ, plus the scatter lists.
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut row_slots: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for (slot, &(r, c)) in self.coords.iter().enumerate() {
+            let (pr, pc) = (inv[r as usize], inv[c as usize]);
+            rows[pr as usize].push(pc);
+            row_slots[pr as usize].push((pc, slot as u32));
+        }
+        for r in rows.iter_mut() {
+            r.sort_unstable();
+            r.dedup();
+        }
+        let mut lower: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut upper: Vec<Vec<u32>> = Vec::with_capacity(n);
+        // Boolean workspace + sorted-merge scratch.
+        let mut mark = vec![false; n];
+        let mut pattern: Vec<u32> = Vec::new();
+        for i in 0..n {
+            pattern.clear();
+            for &c in &rows[i] {
+                if !mark[c as usize] {
+                    mark[c as usize] = true;
+                    pattern.push(c);
+                }
+            }
+            // Process strictly-lower indices in ascending order, merging in
+            // the fill each elimination introduces.
+            let mut lo: Vec<u32> = Vec::new();
+            loop {
+                // Smallest unprocessed index < i.
+                let next = pattern
+                    .iter()
+                    .copied()
+                    .filter(|&c| (c as usize) < i && !lo.contains(&c))
+                    .min();
+                let Some(k) = next else { break };
+                lo.push(k);
+                for &j in &upper[k as usize][1..] {
+                    if !mark[j as usize] {
+                        mark[j as usize] = true;
+                        pattern.push(j);
+                    }
+                }
+            }
+            lo.sort_unstable();
+            let mut up: Vec<u32> = pattern
+                .iter()
+                .copied()
+                .filter(|&c| c as usize >= i)
+                .collect();
+            up.sort_unstable();
+            if up.first() != Some(&(i as u32)) {
+                // Ensure a diagonal slot exists structurally.
+                up.insert(0, i as u32);
+            }
+            for &c in &pattern {
+                mark[c as usize] = false;
+            }
+            lower.push(lo);
+            upper.push(up);
+        }
+        self.symbolic = Some(Symbolic {
+            perm,
+            lower,
+            upper,
+            row_slots,
+        });
+    }
+
+    /// Factorises and solves `A·x = b`, overwriting `b` with the solution.
+    ///
+    /// The stored values are left intact (factors live in scratch space),
+    /// so a failed solve can fall back to another method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] when a pivot falls below
+    /// the tolerance — the caller should fall back to dense partial-pivot
+    /// LU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the dimension.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), CircuitError> {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        self.ensure_symbolic();
+        let symbolic = self.symbolic.as_ref().expect("just ensured");
+        let n = self.n;
+
+        // Factor storage, indexed like the symbolic patterns.
+        let mut l_vals: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut u_vals: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut work = vec![0.0f64; n];
+
+        for i in 0..n {
+            // Scatter A[i, *].
+            for &(c, slot) in &symbolic.row_slots[i] {
+                work[c as usize] += self.values[slot as usize];
+            }
+            // Eliminate against prior rows in ascending pivot order.
+            let lo = &symbolic.lower[i];
+            let mut li = Vec::with_capacity(lo.len());
+            for &k in lo {
+                let k = k as usize;
+                let ukk = u_vals[k][0];
+                let factor = work[k] / ukk;
+                work[k] = 0.0;
+                li.push(factor);
+                if factor != 0.0 {
+                    let up_k = &symbolic.upper[k];
+                    let uv_k = &u_vals[k];
+                    for (idx, &j) in up_k.iter().enumerate().skip(1) {
+                        work[j as usize] -= factor * uv_k[idx];
+                    }
+                }
+            }
+            // Gather U[i, *].
+            let up = &symbolic.upper[i];
+            let mut ui = Vec::with_capacity(up.len());
+            for &j in up {
+                ui.push(work[j as usize]);
+                work[j as usize] = 0.0;
+            }
+            if ui[0].abs() < PIVOT_TOL || !ui[0].is_finite() {
+                return Err(CircuitError::SingularMatrix { pivot: i });
+            }
+            l_vals.push(li);
+            u_vals.push(ui);
+        }
+
+        // Permute the right-hand side into elimination order.
+        let mut pb: Vec<f64> = symbolic.perm.iter().map(|&old| b[old as usize]).collect();
+        // Forward substitution: L·y = P·b (L unit-diagonal).
+        for i in 0..n {
+            let lo = &symbolic.lower[i];
+            let lv = &l_vals[i];
+            let mut acc = pb[i];
+            for (idx, &k) in lo.iter().enumerate() {
+                acc -= lv[idx] * pb[k as usize];
+            }
+            pb[i] = acc;
+        }
+        // Back substitution: U·(P·x) = y.
+        for i in (0..n).rev() {
+            let up = &symbolic.upper[i];
+            let uv = &u_vals[i];
+            let mut acc = pb[i];
+            for (idx, &j) in up.iter().enumerate().skip(1) {
+                acc -= uv[idx] * pb[j as usize];
+            }
+            pb[i] = acc / uv[0];
+        }
+        // Un-permute the solution.
+        for (new, &old) in symbolic.perm.iter().enumerate() {
+            b[old as usize] = pb[new];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_both(entries: &[(usize, usize, f64)], n: usize, b: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut sparse = SparseMatrix::zeros(n);
+        let mut dense = super::super::DenseMatrix::zeros(n);
+        for &(r, c, v) in entries {
+            sparse.add(r, c, v);
+            dense.add(r, c, v);
+        }
+        let mut xs = b.to_vec();
+        sparse.solve_in_place(&mut xs).expect("sparse solves");
+        let mut xd = b.to_vec();
+        dense.solve_in_place(&mut xd).expect("dense solves");
+        (xs, xd)
+    }
+
+    #[test]
+    fn matches_dense_on_tridiagonal() {
+        let n = 12;
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i, 4.0));
+            if i + 1 < n {
+                entries.push((i, i + 1, -1.0));
+                entries.push((i + 1, i, -1.0));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let (xs, xd) = solve_both(&entries, n, &b);
+        for (a, b) in xs.iter().zip(&xd) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_with_fill_in() {
+        // Arrowhead: last row/col dense — maximal fill for no-pivot LU.
+        let n = 10;
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i, 3.0 + i as f64));
+            if i + 1 < n {
+                entries.push((i, n - 1, 0.5));
+                entries.push((n - 1, i, 0.25));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let (xs, xd) = solve_both(&entries, n, &b);
+        for (a, b) in xs.iter().zip(&xd) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn random_mna_like_systems_match_dense() {
+        // Diagonally dominant random sparse systems (the MNA regime).
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in [5usize, 23, 61] {
+            let mut entries = Vec::new();
+            for i in 0..n {
+                entries.push((i, i, 2.0 + 3.0 * next()));
+                for _ in 0..3 {
+                    let j = (next() * n as f64) as usize % n;
+                    if j != i {
+                        let v = 0.3 * (next() - 0.5);
+                        entries.push((i, j, v));
+                        // Keep dominance.
+                        entries.push((i, i, v.abs()));
+                    }
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|_| next() - 0.5).collect();
+            let (xs, xd) = solve_both(&entries, n, &b);
+            for (a, b) in xs.iter().zip(&xd) {
+                assert!((a - b).abs() < 1e-9, "n = {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_solves_reuse_structure() {
+        let mut m = SparseMatrix::zeros(3);
+        m.add(0, 0, 2.0);
+        m.add(1, 1, 2.0);
+        m.add(2, 2, 2.0);
+        m.add(0, 1, 1.0);
+        let mut x = vec![3.0, 2.0, 4.0];
+        m.solve_in_place(&mut x).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        let nnz = m.nnz();
+        // Re-stamp the same pattern: no structural growth, same answer.
+        m.clear();
+        m.add(0, 0, 2.0);
+        m.add(1, 1, 2.0);
+        m.add(2, 2, 2.0);
+        m.add(0, 1, 1.0);
+        assert_eq!(m.nnz(), nnz);
+        let mut x = vec![3.0, 2.0, 4.0];
+        m.solve_in_place(&mut x).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pivot_is_reported_not_panicking() {
+        let mut m = SparseMatrix::zeros(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        // Diagonals are structurally absent → first pivot is zero.
+        let mut x = vec![1.0, 1.0];
+        let err = m.solve_in_place(&mut x).unwrap_err();
+        assert!(matches!(err, CircuitError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn values_survive_failed_solve() {
+        let mut m = SparseMatrix::zeros(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let mut x = vec![1.0, 1.0];
+        let _ = m.solve_in_place(&mut x);
+        // The dense fallback can still read the original values.
+        let dense = m.to_dense();
+        assert_eq!(dense.get(0, 1), 1.0);
+        assert_eq!(dense.get(1, 0), 1.0);
+    }
+}

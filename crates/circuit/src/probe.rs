@@ -1,0 +1,508 @@
+//! Transient results: traces, measurements and energy reports.
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::node::NodeId;
+use crate::stamp::CommitCtx;
+
+/// Signal edge direction for threshold-crossing measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Crossing from below to above the level.
+    Rising,
+    /// Crossing from above to below the level.
+    Falling,
+}
+
+/// A borrowed view over one recorded signal.
+///
+/// Provides the waveform measurements the TCAM evaluation needs: threshold
+/// crossings (search delay), windowed extrema (sense margin) and
+/// interpolation.
+#[derive(Debug, Clone, Copy)]
+pub struct Trace<'a> {
+    times: &'a [f64],
+    values: &'a [f64],
+    name: &'a str,
+}
+
+impl<'a> Trace<'a> {
+    /// Signal name.
+    pub fn name(&self) -> &str {
+        self.name
+    }
+
+    /// Sample instants (seconds).
+    pub fn times(&self) -> &'a [f64] {
+        self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The last recorded value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("trace has at least one sample")
+    }
+
+    /// Linear interpolation of the signal at time `t` (clamped to the ends).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if self.times.is_empty() {
+            return f64::NAN;
+        }
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return *self.values.last().expect("non-empty");
+        }
+        let idx = self.times.partition_point(|&x| x < t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        if t1 == t0 {
+            v1
+        } else {
+            v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        }
+    }
+
+    /// First time the signal crosses `level` with the given edge, linearly
+    /// interpolated between samples.
+    pub fn cross(&self, level: f64, edge: Edge) -> Option<f64> {
+        self.cross_after(level, edge, f64::NEG_INFINITY)
+    }
+
+    /// First crossing at or after `t_from`.
+    pub fn cross_after(&self, level: f64, edge: Edge, t_from: f64) -> Option<f64> {
+        for w in 0..self.times.len().saturating_sub(1) {
+            let (t0, t1) = (self.times[w], self.times[w + 1]);
+            if t1 < t_from {
+                continue;
+            }
+            let (v0, v1) = (self.values[w], self.values[w + 1]);
+            let hit = match edge {
+                Edge::Rising => v0 < level && v1 >= level,
+                Edge::Falling => v0 > level && v1 <= level,
+            };
+            if hit {
+                let frac = if v1 == v0 {
+                    1.0
+                } else {
+                    (level - v0) / (v1 - v0)
+                };
+                let t_cross = t0 + frac * (t1 - t0);
+                if t_cross >= t_from {
+                    return Some(t_cross);
+                }
+            }
+        }
+        None
+    }
+
+    /// Minimum value over the whole trace.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value over the whole trace.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum value within `[t0, t1]`.
+    pub fn min_in(&self, t0: f64, t1: f64) -> f64 {
+        self.window_fold(t0, t1, f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value within `[t0, t1]`.
+    pub fn max_in(&self, t0: f64, t1: f64) -> f64 {
+        self.window_fold(t0, t1, f64::NEG_INFINITY, f64::max)
+    }
+
+    fn window_fold(&self, t0: f64, t1: f64, init: f64, f: fn(f64, f64) -> f64) -> f64 {
+        let mut acc = init;
+        for (t, v) in self.times.iter().zip(self.values) {
+            if *t >= t0 && *t <= t1 {
+                acc = f(acc, *v);
+            }
+        }
+        // Include interpolated endpoints for robustness on coarse sampling.
+        acc = f(acc, self.value_at(t0));
+        acc = f(acc, self.value_at(t1));
+        acc
+    }
+
+    /// Trapezoidal integral of the signal over the whole trace.
+    pub fn integral(&self) -> f64 {
+        let mut acc = 0.0;
+        for w in 0..self.times.len().saturating_sub(1) {
+            acc +=
+                0.5 * (self.values[w] + self.values[w + 1]) * (self.times[w + 1] - self.times[w]);
+        }
+        acc
+    }
+}
+
+/// Per-sample storage built during a transient run.
+#[derive(Debug)]
+pub(crate) struct TraceStore {
+    times: Vec<f64>,
+    node_ids: Vec<NodeId>,
+    node_name_index: HashMap<String, usize>,
+    voltages: Vec<Vec<f64>>,
+    pin_labels: Vec<String>,
+    pin_label_index: HashMap<String, usize>,
+    pin_currents: Vec<Vec<f64>>,
+    pin_powers: Vec<Vec<f64>>,
+    pin_energy_traces: Vec<Vec<f64>>,
+    device_labels: Vec<String>,
+    device_label_index: HashMap<String, usize>,
+}
+
+impl TraceStore {
+    pub fn new(circuit: &Circuit, recorded: &[NodeId]) -> Self {
+        let node_name_index = recorded
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (circuit.node_name(id).to_string(), k))
+            .collect();
+        let pin_labels: Vec<String> = (0..circuit.pin_count())
+            .map(|p| {
+                circuit
+                    .pin_label(crate::circuit::PinId(p as u32))
+                    .to_string()
+            })
+            .collect();
+        let pin_label_index = pin_labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i))
+            .collect();
+        let device_labels: Vec<String> = (0..circuit.device_count())
+            .map(|d| {
+                circuit
+                    .device_label(crate::device::DeviceId(d as u32))
+                    .to_string()
+            })
+            .collect();
+        let device_label_index = device_labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i))
+            .collect();
+        Self {
+            times: Vec::new(),
+            node_ids: recorded.to_vec(),
+            node_name_index,
+            voltages: vec![Vec::new(); recorded.len()],
+            pin_label_index,
+            pin_currents: vec![Vec::new(); pin_labels.len()],
+            pin_powers: vec![Vec::new(); pin_labels.len()],
+            pin_energy_traces: vec![Vec::new(); pin_labels.len()],
+            pin_labels,
+            device_labels,
+            device_label_index,
+        }
+    }
+
+    pub fn push_pin(&mut self, pin: usize, current: f64, power: f64) {
+        self.pin_currents[pin].push(current);
+        self.pin_powers[pin].push(power);
+    }
+
+    pub fn push_sample(&mut self, t: f64, ctx: &CommitCtx<'_>, pin_energy: &[f64]) {
+        self.times.push(t);
+        for (k, &node) in self.node_ids.iter().enumerate() {
+            self.voltages[k].push(ctx.v(node));
+        }
+        for (p, &e) in pin_energy.iter().enumerate() {
+            self.pin_energy_traces[p].push(e);
+        }
+    }
+
+    pub fn finish(
+        self,
+        pin_energy: Vec<f64>,
+        device_energy: Vec<f64>,
+        max_kcl_residual: f64,
+        newton_iterations: usize,
+        steps: usize,
+    ) -> TransientResult {
+        TransientResult {
+            times: self.times,
+            node_ids: self.node_ids,
+            node_name_index: self.node_name_index,
+            voltages: self.voltages,
+            pin_labels: self.pin_labels,
+            pin_label_index: self.pin_label_index,
+            pin_currents: self.pin_currents,
+            pin_powers: self.pin_powers,
+            pin_energy_traces: self.pin_energy_traces,
+            pin_energy,
+            device_labels: self.device_labels,
+            device_label_index: self.device_label_index,
+            device_energy,
+            max_kcl_residual,
+            newton_iterations,
+            steps,
+        }
+    }
+}
+
+/// Result of a transient run: recorded traces plus energy accounting.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    node_ids: Vec<NodeId>,
+    node_name_index: HashMap<String, usize>,
+    voltages: Vec<Vec<f64>>,
+    pin_labels: Vec<String>,
+    pin_label_index: HashMap<String, usize>,
+    pin_currents: Vec<Vec<f64>>,
+    pin_powers: Vec<Vec<f64>>,
+    pin_energy_traces: Vec<Vec<f64>>,
+    pin_energy: Vec<f64>,
+    device_labels: Vec<String>,
+    device_label_index: HashMap<String, usize>,
+    device_energy: Vec<f64>,
+    max_kcl_residual: f64,
+    newton_iterations: usize,
+    steps: usize,
+}
+
+impl TransientResult {
+    /// Sample instants.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of accepted steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Total Newton iterations across the run.
+    pub fn newton_iterations(&self) -> usize {
+        self.newton_iterations
+    }
+
+    /// Worst KCL residual observed at any free node (amps) — an internal
+    /// consistency figure; large values indicate a solver problem.
+    pub fn max_kcl_residual(&self) -> f64 {
+        self.max_kcl_residual
+    }
+
+    /// Voltage trace of a recorded node, by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownTrace`] if the node was not recorded.
+    pub fn trace(&self, node: &str) -> Result<Trace<'_>, CircuitError> {
+        let (name, &k) = self
+            .node_name_index
+            .get_key_value(node)
+            .ok_or_else(|| CircuitError::UnknownTrace(node.to_string()))?;
+        Ok(Trace {
+            times: &self.times,
+            values: &self.voltages[k],
+            name,
+        })
+    }
+
+    /// Voltage trace of a recorded node, by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownTrace`] if the node was not recorded.
+    pub fn trace_of(&self, node: NodeId) -> Result<Trace<'_>, CircuitError> {
+        let k = self
+            .node_ids
+            .iter()
+            .position(|&n| n == node)
+            .ok_or_else(|| CircuitError::UnknownTrace(node.to_string()))?;
+        Ok(Trace {
+            times: &self.times,
+            values: &self.voltages[k],
+            name: "",
+        })
+    }
+
+    fn pin_index(&self, label: &str) -> Result<usize, CircuitError> {
+        self.pin_label_index
+            .get(label)
+            .copied()
+            .ok_or_else(|| CircuitError::UnknownTrace(label.to_string()))
+    }
+
+    /// Current delivered by a pinned source over time (amps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownTrace`] for unknown pin labels.
+    pub fn pin_current(&self, label: &str) -> Result<Trace<'_>, CircuitError> {
+        let p = self.pin_index(label)?;
+        Ok(Trace {
+            times: &self.times,
+            values: &self.pin_currents[p],
+            name: &self.pin_labels[p],
+        })
+    }
+
+    /// Instantaneous power delivered by a pinned source (watts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownTrace`] for unknown pin labels.
+    pub fn pin_power(&self, label: &str) -> Result<Trace<'_>, CircuitError> {
+        let p = self.pin_index(label)?;
+        Ok(Trace {
+            times: &self.times,
+            values: &self.pin_powers[p],
+            name: &self.pin_labels[p],
+        })
+    }
+
+    /// Total energy delivered by a pinned source over the run (joules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownTrace`] for unknown pin labels.
+    pub fn supply_energy(&self, label: &str) -> Result<f64, CircuitError> {
+        Ok(self.pin_energy[self.pin_index(label)?])
+    }
+
+    /// Energy delivered by a pinned source within `[t0, t1]` (joules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownTrace`] for unknown pin labels.
+    pub fn supply_energy_in(&self, label: &str, t0: f64, t1: f64) -> Result<f64, CircuitError> {
+        let p = self.pin_index(label)?;
+        let trace = Trace {
+            times: &self.times,
+            values: &self.pin_energy_traces[p],
+            name: &self.pin_labels[p],
+        };
+        Ok(trace.value_at(t1) - trace.value_at(t0))
+    }
+
+    /// Sum of the energies delivered by all pinned sources (joules).
+    pub fn total_supply_energy(&self) -> f64 {
+        self.pin_energy.iter().sum()
+    }
+
+    /// Sum over all pins of the energy delivered within `[t0, t1]`.
+    pub fn total_supply_energy_in(&self, t0: f64, t1: f64) -> f64 {
+        self.pin_labels
+            .iter()
+            .map(|l| self.supply_energy_in(l, t0, t1).expect("label from self"))
+            .sum()
+    }
+
+    /// Labels of all pinned sources.
+    pub fn pin_labels(&self) -> &[String] {
+        &self.pin_labels
+    }
+
+    /// Energy dissipated in a device over the run, by label (joules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownTrace`] for unknown device labels.
+    pub fn device_energy(&self, label: &str) -> Result<f64, CircuitError> {
+        self.device_label_index
+            .get(label)
+            .map(|&d| self.device_energy[d])
+            .ok_or_else(|| CircuitError::UnknownTrace(label.to_string()))
+    }
+
+    /// Total energy dissipated across all devices that report power.
+    pub fn total_device_energy(&self) -> f64 {
+        self.device_energy.iter().sum()
+    }
+
+    /// Iterates over `(device_label, dissipated_energy)` pairs.
+    pub fn device_energies(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.device_labels
+            .iter()
+            .map(String::as_str)
+            .zip(self.device_energy.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace<'a>(times: &'a [f64], values: &'a [f64]) -> Trace<'a> {
+        Trace {
+            times,
+            values,
+            name: "t",
+        }
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let t = [0.0, 1.0, 2.0];
+        let v = [0.0, 1.0, 0.0];
+        let tr = trace(&t, &v);
+        assert_eq!(tr.value_at(-1.0), 0.0);
+        assert_eq!(tr.value_at(0.5), 0.5);
+        assert_eq!(tr.value_at(1.5), 0.5);
+        assert_eq!(tr.value_at(5.0), 0.0);
+        assert_eq!(tr.last_value(), 0.0);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let v = [0.0, 1.0, 1.0, 0.0];
+        let tr = trace(&t, &v);
+        assert!((tr.cross(0.5, Edge::Rising).unwrap() - 0.5).abs() < 1e-12);
+        assert!((tr.cross(0.5, Edge::Falling).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(tr.cross(2.0, Edge::Rising), None);
+        // cross_after skips the first crossing when starting later.
+        assert_eq!(tr.cross_after(0.5, Edge::Rising, 0.6), None);
+    }
+
+    #[test]
+    fn windowed_extrema_include_interpolated_endpoints() {
+        let t = [0.0, 1.0, 2.0];
+        let v = [0.0, 2.0, 0.0];
+        let tr = trace(&t, &v);
+        assert_eq!(tr.max_in(0.25, 0.75), 1.5);
+        assert_eq!(tr.min_in(0.25, 0.75), 0.5);
+        assert_eq!(tr.max(), 2.0);
+        assert_eq!(tr.min(), 0.0);
+    }
+
+    #[test]
+    fn trapezoidal_integral() {
+        let t = [0.0, 1.0, 2.0];
+        let v = [0.0, 1.0, 0.0];
+        let tr = trace(&t, &v);
+        assert!((tr.integral() - 1.0).abs() < 1e-12);
+    }
+}

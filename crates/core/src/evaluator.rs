@@ -1,0 +1,116 @@
+//! The [`Evaluator`]: shared configuration + calibration cache.
+
+use ftcam_array::CalibrationCache;
+use ftcam_cells::{CellDesign, CellError, DesignKind, Geometry, RowTestbench, SearchTiming};
+use ftcam_devices::TechCard;
+
+/// Shared context for all experiments: technology card, layout constants,
+/// search clocking and a calibration cache.
+///
+/// Two presets exist: [`Evaluator::standard`] uses the clocking the paper
+/// reports; [`Evaluator::quick`] uses a coarser step for unit tests and
+/// smoke runs.
+#[derive(Debug)]
+pub struct Evaluator {
+    card: TechCard,
+    geometry: Geometry,
+    timing: SearchTiming,
+    cache: CalibrationCache,
+}
+
+impl Evaluator {
+    /// Creates an evaluator from explicit configuration.
+    pub fn new(card: TechCard, geometry: Geometry, timing: SearchTiming) -> Self {
+        let cache = CalibrationCache::new(card.clone(), geometry.clone(), timing.clone());
+        Self {
+            card,
+            geometry,
+            timing,
+            cache,
+        }
+    }
+
+    /// The evaluation-default configuration (hp45 card, default clocking).
+    pub fn standard() -> Self {
+        Self::new(
+            TechCard::hp45(),
+            Geometry::default(),
+            SearchTiming::default(),
+        )
+    }
+
+    /// A coarse, fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self::new(TechCard::hp45(), Geometry::default(), SearchTiming::fast())
+    }
+
+    /// The technology card.
+    pub fn card(&self) -> &TechCard {
+        &self.card
+    }
+
+    /// The layout constants.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The search clocking.
+    pub fn timing(&self) -> &SearchTiming {
+        &self.timing
+    }
+
+    /// The calibration cache (shared across experiments).
+    pub fn calibrations(&self) -> &CalibrationCache {
+        &self.cache
+    }
+
+    /// Builds a row testbench for a standard design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures as [`CellError`].
+    pub fn testbench(&self, kind: DesignKind, width: usize) -> Result<RowTestbench, CellError> {
+        RowTestbench::new(
+            kind.instantiate(),
+            self.card.clone(),
+            self.geometry.clone(),
+            width,
+        )
+    }
+
+    /// Builds a row testbench for a custom design instance (parameter
+    /// sweeps over α, segment counts, ...).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures as [`CellError`].
+    pub fn testbench_with(
+        &self,
+        design: Box<dyn CellDesign>,
+        width: usize,
+    ) -> Result<RowTestbench, CellError> {
+        RowTestbench::new(design, self.card.clone(), self.geometry.clone(), width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_clocking() {
+        let std = Evaluator::standard();
+        let quick = Evaluator::quick();
+        assert!(quick.timing().dt >= std.timing().dt);
+        assert_eq!(std.card().vdd, 0.8);
+    }
+
+    #[test]
+    fn testbench_builds_for_all_designs() {
+        let eval = Evaluator::quick();
+        for kind in DesignKind::ALL {
+            let tb = eval.testbench(kind, 4).unwrap();
+            assert_eq!(tb.width(), 4);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! E1 / Fig. 2 — FeFET device characteristics: quasi-static P–V loop and
+//! the I_D–V_G "butterfly" of the two programmed states.
+
+use ftcam_cells::CellError;
+use ftcam_devices::ferro::Polarization;
+use ftcam_devices::{Mosfet, MosfetParams};
+
+use crate::report::{Artifact, Figure};
+use crate::Evaluator;
+
+/// Parameters for the device-characterisation figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Sweep limit ±`v_max` for the P–V loop (volts).
+    pub v_max: f64,
+    /// Points per sweep direction.
+    pub steps: usize,
+    /// Dwell per point (seconds); large values give the quasi-static loop.
+    pub dwell: f64,
+    /// Drain bias for the I_D–V_G curves (volts).
+    pub v_ds_read: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            v_max: 4.0,
+            steps: 60,
+            dwell: 100.0,
+            v_ds_read: 0.05,
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset (denser sweep).
+    pub fn full() -> Self {
+        Self {
+            steps: 200,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Infallible in practice (pure device evaluation); the `Result` keeps the
+/// uniform experiment signature.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let fe = &eval.card().fefet;
+    let n = params.steps;
+    let up: Vec<f64> = (0..=n)
+        .map(|i| -params.v_max + 2.0 * params.v_max * i as f64 / n as f64)
+        .collect();
+
+    // Quasi-static major loop (normalised polarization).
+    let mut p = Polarization::new(-1.0);
+    let mut p_up = Vec::with_capacity(up.len());
+    for &v in &up {
+        p.advance(&fe.ferro, v * fe.fe_coupling, params.dwell);
+        p_up.push(p.value());
+    }
+    let mut p_down = Vec::with_capacity(up.len());
+    for &v in up.iter().rev() {
+        p.advance(&fe.ferro, v * fe.fe_coupling, params.dwell);
+        p_down.push(p.value());
+    }
+    p_down.reverse();
+
+    // Butterfly: log10 of drain current in both programmed states.
+    let low = MosfetParams {
+        vth: fe.vth_low(),
+        ..fe.mosfet.clone()
+    };
+    let high = MosfetParams {
+        vth: fe.vth_high(),
+        ..fe.mosfet.clone()
+    };
+    let id_curve = |card: &MosfetParams| -> Vec<f64> {
+        up.iter()
+            .map(|&vg| {
+                let (i, _, _) = Mosfet::channel_currents(card, vg, params.v_ds_read);
+                i.max(1e-18).log10()
+            })
+            .collect()
+    };
+
+    let id_low = id_curve(&low);
+    let id_high = id_curve(&high);
+    let mut fig = Figure::new(
+        "fig2",
+        "FeFET characteristics: quasi-static P–V loop and programmed-state I_D–V_G",
+        "gate voltage (V)",
+        "P/P_r (–) and log10(I_D/A)",
+        up,
+    );
+    fig.push_series("P/P_r (up sweep)", p_up);
+    fig.push_series("P/P_r (down sweep)", p_down);
+    fig.push_series("log10 I_D, low V_th", id_low);
+    fig.push_series("log10 I_D, high V_th", id_high);
+    fig.note(format!(
+        "memory window = {:.2} V, coercive voltage (card) = {:.2} V, coupling = {:.2}",
+        fe.memory_window, fe.ferro.vc, fe.fe_coupling
+    ));
+    Ok(Artifact::Figure(fig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_is_open_and_states_separate() {
+        let eval = Evaluator::quick();
+        let artifact = run(&eval, &Params::default()).unwrap();
+        let Artifact::Figure(fig) = artifact else {
+            panic!("expected figure")
+        };
+        // Loop opening at v = 0: down-sweep remanence minus up-sweep.
+        let mid = fig.x.len() / 2;
+        let opening = fig.series[1].y[mid] - fig.series[0].y[mid];
+        assert!(opening > 1.0, "loop opening {opening}");
+        // At V_DD the two programmed states differ by ≥ 4 decades.
+        let vdd_idx = fig
+            .x
+            .iter()
+            .position(|&v| v >= eval.card().vdd)
+            .expect("VDD within sweep");
+        let decades = fig.series[2].y[vdd_idx] - fig.series[3].y[vdd_idx];
+        assert!(decades > 4.0, "on/off decades {decades}");
+    }
+}

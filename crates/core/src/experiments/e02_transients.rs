@@ -1,0 +1,156 @@
+//! E2 / Fig. 3 — match-line transient waveforms: full match vs 1-bit and
+//! heavy mismatch, for the FeFET baseline and the headline design.
+
+use ftcam_cells::{CellError, DesignKind};
+use ftcam_workloads::{Ternary, TernaryWord};
+
+use crate::report::{Artifact, Figure};
+use crate::Evaluator;
+
+/// Parameters for the waveform figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Designs whose ML is plotted.
+    pub designs: Vec<DesignKind>,
+    /// Word width.
+    pub width: usize,
+    /// Uniform resampling grid size.
+    pub points: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            designs: vec![DesignKind::FeFet2T, DesignKind::EaFull],
+            width: 16,
+            points: 160,
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset: 64-bit words, all flat designs.
+    pub fn full() -> Self {
+        Self {
+            designs: vec![
+                DesignKind::Cmos16T,
+                DesignKind::Rram2T2R,
+                DesignKind::FeFet2T,
+                DesignKind::EaLowSwing,
+                DesignKind::EaFull,
+            ],
+            width: 64,
+            points: 400,
+        }
+    }
+}
+
+/// Linear interpolation of a raw (times, volts) trace onto `t`.
+fn resample(times: &[f64], volts: &[f64], t: f64) -> f64 {
+    if times.is_empty() {
+        return f64::NAN;
+    }
+    if t <= times[0] {
+        return volts[0];
+    }
+    if t >= *times.last().expect("non-empty") {
+        return *volts.last().expect("non-empty");
+    }
+    let idx = times.partition_point(|&x| x < t);
+    let (t0, t1) = (times[idx - 1], times[idx]);
+    let (v0, v1) = (volts[idx - 1], volts[idx]);
+    if t1 == t0 {
+        v1
+    } else {
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let timing = eval.timing().clone();
+    let t_total = 2.0 * timing.cycle();
+    let grid: Vec<f64> = (0..params.points)
+        .map(|i| t_total * i as f64 / (params.points - 1) as f64)
+        .collect();
+
+    let stored: TernaryWord = (0..params.width)
+        .map(|i| {
+            if i % 2 == 0 {
+                Ternary::One
+            } else {
+                Ternary::Zero
+            }
+        })
+        .collect();
+    let scenarios: [(&str, TernaryWord); 3] = [
+        ("match", stored.clone()),
+        ("1-bit mismatch", stored.with_spread_mismatches(1)),
+        (
+            "heavy mismatch",
+            stored.with_spread_mismatches(params.width / 2),
+        ),
+    ];
+
+    let mut fig = Figure::new(
+        "fig3",
+        "Match-line transients over one steady-state search cycle",
+        "time (s)",
+        "ML voltage (V)",
+        grid.clone(),
+    );
+    for &kind in &params.designs {
+        let mut row = eval.testbench(kind, params.width)?;
+        row.program_word(&stored)?;
+        for (name, query) in &scenarios {
+            let (outcome, traces) = row.search_traced(query, &timing)?;
+            let trace = traces.last().expect("at least one stage");
+            let y: Vec<f64> = grid
+                .iter()
+                .map(|&t| resample(&trace.times, &trace.volts, t))
+                .collect();
+            fig.push_series(format!("{} / {name}", kind.key()), y);
+            // Record the decision in the notes for cross-checking.
+            if *name == "match" && !outcome.matched {
+                fig.note(format!("WARNING: {} match decided as mismatch", kind.key()));
+            }
+        }
+    }
+    fig.note(format!(
+        "cycle: {:.1} ns precharge + {:.1} ns evaluate; second (steady-state) cycle shown from t = {:.1} ns",
+        timing.t_precharge * 1e9,
+        timing.t_eval * 1e9,
+        timing.cycle() * 1e9
+    ));
+    Ok(Artifact::Figure(fig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveforms_show_discharge_on_mismatch() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            designs: vec![DesignKind::FeFet2T],
+            width: 8,
+            points: 80,
+        };
+        let Artifact::Figure(fig) = run(&eval, &params).unwrap() else {
+            panic!("expected figure")
+        };
+        assert_eq!(fig.series.len(), 3);
+        let vdd = eval.card().vdd;
+        // Match: ML ends the evaluate phase high; mismatch: low.
+        let last = fig.x.len() - 1;
+        assert!(fig.series[0].y[last] > 0.7 * vdd, "match ML sagged");
+        assert!(fig.series[1].y[last] < 0.3 * vdd, "mismatch ML stayed high");
+        // No warnings recorded.
+        assert!(fig.notes.iter().all(|n| !n.contains("WARNING")));
+    }
+}

@@ -1,0 +1,113 @@
+//! E5 / Fig. 5 — search delay vs word width.
+
+use ftcam_cells::{CellError, DesignKind};
+
+use crate::report::{Artifact, Figure};
+use crate::Evaluator;
+
+/// Parameters for the delay-vs-width sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Word widths to calibrate at.
+    pub widths: Vec<usize>,
+    /// Designs to include.
+    pub designs: Vec<DesignKind>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            widths: vec![8, 16, 32],
+            designs: DesignKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset.
+    pub fn full() -> Self {
+        Self {
+            widths: vec![8, 16, 32, 64, 96, 128],
+            designs: DesignKind::ALL.to_vec(),
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let x: Vec<f64> = params.widths.iter().map(|&w| w as f64).collect();
+    let mut fig = Figure::new(
+        "fig5",
+        "Single-bit mismatch detection latency vs word width",
+        "word width (cells)",
+        "detection latency (ns)",
+        x,
+    );
+    let mut skipped: Vec<String> = Vec::new();
+    for &kind in &params.designs {
+        let mut y = Vec::with_capacity(params.widths.len());
+        let mut y_clock = Vec::with_capacity(params.widths.len());
+        for &w in &params.widths {
+            match eval.calibrations().get(kind, w) {
+                Ok(calib) => {
+                    // The width-dependent quantity: one cell must discharge
+                    // a match line whose capacitance grows linearly with
+                    // the word width. (The clocked full-match sense is
+                    // width-independent; second series for reference.)
+                    y.push(calib.t_mismatch_1 * 1e9);
+                    y_clock.push(calib.t_match * 1e9);
+                }
+                Err(CellError::CalibrationDecisionError { .. }) => {
+                    skipped.push(format!("{} @ {w}", kind.key()));
+                    y.push(f64::NAN);
+                    y_clock.push(f64::NAN);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        fig.push_series(kind.key(), y);
+        fig.push_series(format!("{} (clocked sense)", kind.key()), y_clock);
+    }
+    if !skipped.is_empty() {
+        fig.note(format!(
+            "outside operating envelope (no point plotted): {}",
+            skipped.join(", ")
+        ));
+    }
+    fig.note("row decision only; peripheral (SA + priority encoder) delay is added in Table II");
+    Ok(Artifact::Figure(fig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmented_design_pays_a_delay_penalty() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            widths: vec![16],
+            designs: vec![DesignKind::FeFet2T, DesignKind::EaMlSegmented],
+        };
+        let Artifact::Figure(fig) = run(&eval, &params).unwrap() else {
+            panic!("expected figure")
+        };
+        let clocked = |name: &str| {
+            fig.series
+                .iter()
+                .find(|s| s.name.starts_with(name) && s.name.contains("clocked"))
+                .expect("clocked series")
+                .y[0]
+        };
+        let flat = clocked("fefet2t");
+        let seg = clocked("ea-mls");
+        assert!(
+            seg > 1.5 * flat,
+            "segmented full-match delay {seg} ns should exceed flat {flat} ns"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! E6 / Fig. 6 — search energy vs the query's Hamming distance from the
+//! stored word (direct transistor-level measurement, not calibration).
+
+use ftcam_cells::{CellError, DesignKind};
+use ftcam_workloads::{Ternary, TernaryWord};
+
+use crate::report::{Artifact, Figure};
+use crate::Evaluator;
+
+/// Parameters for the energy-vs-mismatch sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Word width.
+    pub width: usize,
+    /// Mismatch counts to measure (must be ≤ width).
+    pub mismatch_counts: Vec<usize>,
+    /// Designs to include.
+    pub designs: Vec<DesignKind>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            width: 16,
+            mismatch_counts: vec![0, 1, 2, 4, 8, 16],
+            designs: vec![
+                DesignKind::FeFet2T,
+                DesignKind::EaLowSwing,
+                DesignKind::EaMlSegmented,
+                DesignKind::EaFull,
+            ],
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset (64-bit words).
+    pub fn full() -> Self {
+        Self {
+            width: 64,
+            mismatch_counts: vec![0, 1, 2, 4, 8, 16, 32, 64],
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Returns [`CellError::InvalidParameter`] if a mismatch count exceeds the
+/// width, and propagates simulation failures.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    if params.mismatch_counts.iter().any(|&k| k > params.width) {
+        return Err(CellError::InvalidParameter(
+            "mismatch count exceeds word width".into(),
+        ));
+    }
+    let stored: TernaryWord = (0..params.width)
+        .map(|i| {
+            if i % 2 == 0 {
+                Ternary::One
+            } else {
+                Ternary::Zero
+            }
+        })
+        .collect();
+    let x: Vec<f64> = params.mismatch_counts.iter().map(|&k| k as f64).collect();
+    let mut fig = Figure::new(
+        "fig6",
+        "Row search energy vs number of mismatching cells",
+        "mismatching cells",
+        "search energy (fJ/search)",
+        x,
+    );
+    let timing = eval.timing().clone();
+    for &kind in &params.designs {
+        let mut row = eval.testbench(kind, params.width)?;
+        row.program_word(&stored)?;
+        let mut y = Vec::with_capacity(params.mismatch_counts.len());
+        for &k in &params.mismatch_counts {
+            let query = stored.with_spread_mismatches(k);
+            let outcome = row.search(&query, &timing)?;
+            y.push(outcome.energy_total * 1e15);
+        }
+        fig.push_series(kind.key(), y);
+    }
+    fig.note(
+        "mismatches are spread uniformly; the segmented design's energy drops \
+         with k as early segments terminate the search",
+    );
+    Ok(Artifact::Figure(fig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_energy_exceeds_match_energy() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            width: 8,
+            mismatch_counts: vec![0, 1, 4],
+            designs: vec![DesignKind::FeFet2T],
+        };
+        let Artifact::Figure(fig) = run(&eval, &params).unwrap() else {
+            panic!("expected figure")
+        };
+        let y = &fig.series[0].y;
+        assert!(y[1] > y[0], "1-miss {:.3} fJ vs match {:.3} fJ", y[1], y[0]);
+    }
+
+    #[test]
+    fn rejects_excess_mismatches() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            width: 4,
+            mismatch_counts: vec![8],
+            designs: vec![DesignKind::FeFet2T],
+        };
+        assert!(run(&eval, &params).is_err());
+    }
+}

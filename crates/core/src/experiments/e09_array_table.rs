@@ -1,0 +1,118 @@
+//! E9 / Table II — array-level projections: energy, delay and area of
+//! full macros.
+
+use ftcam_array::{ArrayModel, ArrayParams};
+use ftcam_cells::{CellError, DesignKind};
+
+use crate::report::{Artifact, Table};
+use crate::Evaluator;
+
+/// Parameters for the array projection table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Array shapes `(rows, width)` to project.
+    pub shapes: Vec<(usize, usize)>,
+    /// Designs to include.
+    pub designs: Vec<DesignKind>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            shapes: vec![(64, 16)],
+            designs: DesignKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset.
+    pub fn full() -> Self {
+        Self {
+            shapes: vec![(64, 64), (256, 64), (1024, 64), (256, 128)],
+            designs: DesignKind::ALL.to_vec(),
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let mut table = Table::new(
+        "table2",
+        "Array-level projection (typical search: one matching row)",
+        vec![
+            "rows".into(),
+            "width".into(),
+            "E/search (pJ)".into(),
+            "E/bit/search (fJ)".into(),
+            "delay (ns)".into(),
+            "area (mm²)".into(),
+            "write E/word (fJ)".into(),
+        ],
+    );
+    let mut skipped: Vec<String> = Vec::new();
+    for &(rows, width) in &params.shapes {
+        for &kind in &params.designs {
+            let calib = match eval.calibrations().get(kind, width) {
+                Ok(c) => c,
+                Err(CellError::CalibrationDecisionError { .. }) => {
+                    skipped.push(format!("{} {}x{}", kind.key(), rows, width));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let model = ArrayModel::new(ArrayParams::new(kind, rows, width), calib);
+            let design = kind.instantiate();
+            table.push(
+                format!("{} {}x{}", kind.key(), rows, width),
+                vec![
+                    rows as f64,
+                    width as f64,
+                    model.typical_search_energy() * 1e12,
+                    model.typical_energy_per_bit() * 1e15,
+                    model.search_delay() * 1e9,
+                    model.area_mm2(eval.geometry(), design.area_f2()),
+                    model.write_energy_word().unwrap_or(0.0) * 1e15,
+                ],
+            );
+        }
+    }
+    table.note(
+        "rows scale the calibrated row linearly (electrically independent rows); \
+         peripherals are charged identically per row/column for every design",
+    );
+    if !skipped.is_empty() {
+        table.note(format!(
+            "outside operating envelope (row omitted): {}",
+            skipped.join(", ")
+        ));
+    }
+    Ok(Artifact::Table(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_energy_scales_with_rows_and_favours_proposed_designs() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            shapes: vec![(32, 8), (128, 8)],
+            designs: vec![DesignKind::FeFet2T, DesignKind::EaFull],
+        };
+        let Artifact::Table(t) = run(&eval, &params).unwrap() else {
+            panic!("expected table")
+        };
+        let e32 = t.cell("fefet2t 32x8", "E/search (pJ)").unwrap();
+        let e128 = t.cell("fefet2t 128x8", "E/search (pJ)").unwrap();
+        assert!(e128 > 3.0 * e32, "rows must scale energy: {e32} → {e128}");
+        let base = t.cell("fefet2t 128x8", "E/bit/search (fJ)").unwrap();
+        let full = t.cell("ea-full 128x8", "E/bit/search (fJ)").unwrap();
+        assert!(full < base, "ea-full {full} vs fefet2t {base}");
+    }
+}

@@ -1,0 +1,132 @@
+//! E11 / Fig. 10 — FeFET write characteristics: program energy, latency
+//! and success vs pulse amplitude and width.
+
+use ftcam_cells::{CellError, DesignKind, WriteTiming};
+use ftcam_workloads::{Ternary, TernaryWord};
+
+use crate::report::{Artifact, Table};
+use crate::Evaluator;
+
+/// Parameters for the write study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Pulse amplitudes to sweep (volts).
+    pub amplitudes: Vec<f64>,
+    /// Pulse widths to sweep (seconds) at the card amplitude.
+    pub pulse_widths: Vec<f64>,
+    /// Word width.
+    pub width: usize,
+    /// Design to program (any FeFET design behaves identically here).
+    pub design: DesignKind,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            amplitudes: vec![3.0, 4.0],
+            pulse_widths: vec![10e-9, 30e-9],
+            width: 4,
+            design: DesignKind::FeFet2T,
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset.
+    pub fn full() -> Self {
+        Self {
+            amplitudes: vec![2.5, 3.0, 3.5, 4.0, 4.5],
+            pulse_widths: vec![5e-9, 10e-9, 20e-9, 30e-9, 50e-9],
+            width: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let word: TernaryWord = (0..params.width)
+        .map(|i| {
+            if i % 2 == 0 {
+                Ternary::One
+            } else {
+                Ternary::Zero
+            }
+        })
+        .collect();
+    let mut table = Table::new(
+        "fig10",
+        "FeFET write: energy/latency/success vs program pulse",
+        vec![
+            "amplitude (V)".into(),
+            "pulse width (ns)".into(),
+            "E total (fJ)".into(),
+            "E switching (fJ)".into(),
+            "E/bit (fJ)".into(),
+            "latency (ns)".into(),
+            "programmed ok".into(),
+        ],
+    );
+
+    let mut cases: Vec<(f64, f64)> = params.amplitudes.iter().map(|&a| (a, 30e-9)).collect();
+    cases.extend(params.pulse_widths.iter().map(|&w| (eval.card().vprog, w)));
+    cases.dedup_by(|a, b| a == b);
+
+    for (amplitude, width_s) in cases {
+        let mut row = eval.testbench(params.design, params.width)?;
+        let timing = WriteTiming {
+            erase_width: width_s,
+            program_width: width_s,
+            amplitude: Some(amplitude),
+            ..WriteTiming::default()
+        };
+        let out = row.write_word(&word, &timing)?;
+        table.push(
+            format!("{amplitude:.1} V / {:.0} ns", width_s * 1e9),
+            vec![
+                amplitude,
+                width_s * 1e9,
+                out.energy_total * 1e15,
+                out.energy_switching * 1e15,
+                out.energy_per_bit(params.width) * 1e15,
+                out.latency * 1e9,
+                if out.programmed_ok { 1.0 } else { 0.0 },
+            ],
+        );
+    }
+    table.note(
+        "erase-before-program scheme; success requires |p| > 0.8 with the \
+         correct sign in every FeFET. Low amplitudes or short pulses fail \
+         to switch (the NLS kinetics wall).",
+    );
+    Ok(Artifact::Table(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_pulse_succeeds_weak_pulse_fails() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            amplitudes: vec![2.0, 4.0],
+            pulse_widths: vec![],
+            width: 2,
+            design: DesignKind::FeFet2T,
+        };
+        let Artifact::Table(t) = run(&eval, &params).unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(t.cell("2.0 V / 30 ns", "programmed ok"), Some(0.0));
+        assert_eq!(t.cell("4.0 V / 30 ns", "programmed ok"), Some(1.0));
+        // Higher amplitude costs more energy.
+        let e2 = t.cell("2.0 V / 30 ns", "E total (fJ)").unwrap();
+        let e4 = t.cell("4.0 V / 30 ns", "E total (fJ)").unwrap();
+        assert!(e4 > e2);
+    }
+}

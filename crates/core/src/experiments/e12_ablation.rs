@@ -1,0 +1,146 @@
+//! E12 / Table III — ablation of the energy-aware techniques: each
+//! technique alone and combined, with the energy breakdown that shows
+//! *where* each saving comes from.
+
+use ftcam_cells::{CellError, DesignKind};
+use ftcam_workloads::{Ternary, TernaryWord};
+
+use crate::experiments::DEFAULT_SL_TOGGLE_ACTIVITY;
+use crate::report::{Artifact, Table};
+use crate::Evaluator;
+
+/// Parameters for the ablation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Word width.
+    pub width: usize,
+    /// Mismatch count of the measured search (typical row).
+    pub mismatches: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            width: 16,
+            mismatches: 8,
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset.
+    pub fn full() -> Self {
+        Self {
+            width: 64,
+            mismatches: 32,
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let designs = [
+        DesignKind::FeFet2T,
+        DesignKind::EaLowSwing,
+        DesignKind::EaSlGated,
+        DesignKind::EaMlSegmented,
+        DesignKind::EaFull,
+    ];
+    let stored: TernaryWord = (0..params.width)
+        .map(|i| {
+            if i % 2 == 0 {
+                Ternary::One
+            } else {
+                Ternary::Zero
+            }
+        })
+        .collect();
+    let query = stored.with_spread_mismatches(params.mismatches);
+    let timing = eval.timing().clone();
+
+    let mut table = Table::new(
+        "table3",
+        format!(
+            "Ablation at {}-bit words, {}-bit-mismatch search",
+            params.width, params.mismatches
+        ),
+        vec![
+            "E total (fJ)".into(),
+            "E ML (fJ)".into(),
+            "E SL (fJ)".into(),
+            "E ctrl (fJ)".into(),
+            "delay (ns)".into(),
+            "margin (mV)".into(),
+            "vs baseline".into(),
+        ],
+    );
+    let mut baseline = None;
+    for kind in designs {
+        let mut row = eval.testbench(kind, params.width)?;
+        row.program_word(&stored)?;
+        let out = row.search(&query, &timing)?;
+        // SL-gated designs: add the toggle-activity-adjusted SL cost so the
+        // comparison against RZ designs is fair.
+        let calib = eval.calibrations().get(kind, params.width)?;
+        let e_sl = if calib.sl_gated {
+            out.energy_sl
+                + DEFAULT_SL_TOGGLE_ACTIVITY * params.width as f64 * calib.e_sl_per_definite_bit
+        } else {
+            out.energy_sl
+        };
+        let e_total = out.energy_ml + e_sl + out.energy_ctrl;
+        let base = *baseline.get_or_insert(e_total);
+        table.push(
+            kind.key(),
+            vec![
+                e_total * 1e15,
+                out.energy_ml * 1e15,
+                e_sl * 1e15,
+                out.energy_ctrl * 1e15,
+                out.latency * 1e9,
+                out.sense_margin * 1e3,
+                e_total / base,
+            ],
+        );
+    }
+    table.note(
+        "low-swing attacks the ML column, SL-gating the SL column, \
+         segmentation both (fewer active cells); EA-Full compounds LS + SLG",
+    );
+    Ok(Artifact::Table(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_technique_reduces_its_target_component() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            width: 8,
+            mismatches: 4,
+        };
+        let Artifact::Table(t) = run(&eval, &params).unwrap() else {
+            panic!("expected table")
+        };
+        let ml_base = t.cell("fefet2t", "E ML (fJ)").unwrap();
+        let ml_ls = t.cell("ea-ls", "E ML (fJ)").unwrap();
+        assert!(
+            ml_ls < ml_base,
+            "LS must cut ML energy: {ml_ls} vs {ml_base}"
+        );
+        let sl_base = t.cell("fefet2t", "E SL (fJ)").unwrap();
+        let sl_slg = t.cell("ea-slg", "E SL (fJ)").unwrap();
+        assert!(
+            sl_slg < sl_base,
+            "SLG must cut SL energy: {sl_slg} vs {sl_base}"
+        );
+        let rel_full = t.cell("ea-full", "vs baseline").unwrap();
+        assert!(rel_full < 0.75, "EA-Full relative energy {rel_full}");
+    }
+}

@@ -1,0 +1,111 @@
+//! E13 / Table IV (extension) — standby power and non-volatility.
+//!
+//! Not part of the reconstructed core evaluation, but squarely in the
+//! paper's "energy-aware" theme: a TCAM is idle most of the time, and the
+//! decisive FeFET advantage there is non-volatile retention (the array can
+//! be power-gated to zero), versus an SRAM-based array that leaks
+//! continuously to hold its content.
+
+use ftcam_array::{Retention, StandbyProfile};
+use ftcam_cells::{CellError, DesignKind};
+
+use crate::report::{Artifact, Table};
+use crate::Evaluator;
+
+/// Parameters for the standby comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Array shape the absolute numbers are quoted for.
+    pub rows: usize,
+    /// Word width.
+    pub width: usize,
+    /// Designs to include.
+    pub designs: Vec<DesignKind>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            rows: 256,
+            width: 64,
+            designs: DesignKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset (a 1 Mb-class macro).
+    pub fn full() -> Self {
+        Self {
+            rows: 4096,
+            width: 128,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Infallible in practice (analytical model); `Result` keeps the uniform
+/// experiment signature.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let mut table = Table::new(
+        "table4",
+        format!(
+            "Standby power and retention, {}x{} array (extension experiment)",
+            params.rows, params.width
+        ),
+        vec![
+            "non-volatile".into(),
+            "standby/cell (pW)".into(),
+            "array standby (µW)".into(),
+            "gated standby (µW)".into(),
+            "wakeup (ns)".into(),
+        ],
+    );
+    for &kind in &params.designs {
+        let p = StandbyProfile::of(kind, eval.card());
+        table.push(
+            kind.key(),
+            vec![
+                if p.retention == Retention::NonVolatile {
+                    1.0
+                } else {
+                    0.0
+                },
+                p.power_per_cell * 1e12,
+                p.array_power(params.rows, params.width) * 1e6,
+                p.gated_array_power(params.rows, params.width) * 1e6,
+                p.wakeup_latency * 1e9,
+            ],
+        );
+    }
+    table.note(
+        "volatile arrays must stay powered to retain content; non-volatile \
+         arrays power-gate to zero and pay only a wake-up precharge. SRAM \
+         leakage uses the card's subthreshold currents (hp45; the lp45 card \
+         reduces it ~10x at the cost of search speed).",
+    );
+    Ok(Artifact::Table(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fefet_standby_dominates_cmos() {
+        let eval = Evaluator::quick();
+        let Artifact::Table(t) = run(&eval, &Params::default()).unwrap() else {
+            panic!("expected table")
+        };
+        let cmos = t.cell("cmos16t", "array standby (µW)").unwrap();
+        let fefet = t.cell("fefet2t", "gated standby (µW)").unwrap();
+        assert!(cmos > 0.0);
+        assert_eq!(fefet, 0.0);
+        assert_eq!(t.cell("fefet2t", "non-volatile"), Some(1.0));
+        assert_eq!(t.cell("cmos16t", "non-volatile"), Some(0.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! E15 / Fig. 12 (extension) — multi-level (analog) CAM capacity: energy
+//! per equivalent bit and sense margin as bits-per-cell grow.
+//!
+//! The same 2-FeFET cell stores `b` bits by bracketing one of `2^b`
+//! quantised analog levels (the FeCAM direction of the 2-FeFET research
+//! line). Doubling bits halves the cells per word — and therefore the
+//! match-line and search-line capacitance per stored bit — but shrinks the
+//! level spacing toward the threshold-programming deadband until the cell
+//! can no longer separate adjacent levels: the capacity ceiling this
+//! experiment locates.
+
+use ftcam_cells::{CellError, McamRow, SearchTiming};
+
+use crate::report::{Artifact, Table};
+use crate::Evaluator;
+
+/// Parameters for the multi-bit capacity study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Equivalent binary capacity per word (bits).
+    pub capacity_bits: usize,
+    /// Bits-per-cell settings to evaluate.
+    pub bits_per_cell: Vec<u32>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            capacity_bits: 8,
+            bits_per_cell: vec![1, 2, 4],
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset.
+    pub fn full() -> Self {
+        Self {
+            capacity_bits: 16,
+            bits_per_cell: vec![1, 2, 3, 4],
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures (a *decision* failure at high bit counts
+/// is the expected result and is reported in the table, not an error).
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let timing = SearchTiming::relaxed();
+    let mut table = Table::new(
+        "fig12",
+        format!(
+            "Multi-level CAM capacity at {} equivalent bits/word (extension experiment)",
+            params.capacity_bits
+        ),
+        vec![
+            "cells/word".into(),
+            "levels/cell".into(),
+            "E/search (fJ)".into(),
+            "E/equiv-bit (fJ)".into(),
+            "worst margin (mV)".into(),
+            "functional".into(),
+        ],
+    );
+    for &bits in &params.bits_per_cell {
+        if params.capacity_bits % bits as usize != 0 {
+            continue;
+        }
+        let width = params.capacity_bits / bits as usize;
+        let mut row = McamRow::new(eval.card().clone(), eval.geometry().clone(), width)?;
+        // Store an alternating quantised pattern.
+        let levels_per_cell = 1usize << bits;
+        let digits: Vec<usize> = (0..width).map(|i| (i * 2 + 1) % levels_per_cell).collect();
+        row.program_quantized(&digits, bits)?;
+
+        // Exact match plus every single-digit ±1 perturbation must decide
+        // correctly for the configuration to count as functional.
+        let exact = McamRow::quantized_levels(&digits, bits);
+        let hit = row.search(&exact, &timing)?;
+        let mut functional = hit.matched;
+        let mut worst_margin = hit.sense_margin;
+        let mut energy = hit.energy_total;
+        let mut searches = 1usize;
+        for (cell, &d) in digits.iter().enumerate() {
+            for cand in [d.wrapping_sub(1), d + 1] {
+                if cand >= levels_per_cell || cand == d {
+                    continue;
+                }
+                let mut q = digits.clone();
+                q[cell] = cand;
+                let out = row.search(&McamRow::quantized_levels(&q, bits), &timing)?;
+                functional &= !out.matched;
+                worst_margin =
+                    worst_margin.min(out.sense_margin * if out.matched { -1.0 } else { 1.0 });
+                energy += out.energy_total;
+                searches += 1;
+            }
+        }
+        let e_avg = energy / searches as f64;
+        table.push(
+            format!("{bits} bit/cell"),
+            vec![
+                width as f64,
+                levels_per_cell as f64,
+                e_avg * 1e15,
+                e_avg / params.capacity_bits as f64 * 1e15,
+                worst_margin * 1e3,
+                if functional { 1.0 } else { 0.0 },
+            ],
+        );
+    }
+    table.note(
+        "energy averaged over the exact match and all adjacent-level mismatches; \
+         a non-functional row (0) marks the bits/cell ceiling where the level \
+         spacing falls inside the threshold-programming deadband",
+    );
+    Ok(Artifact::Table(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_cells_halve_energy_per_bit() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            capacity_bits: 4,
+            bits_per_cell: vec![1, 2],
+        };
+        let Artifact::Table(t) = run(&eval, &params).unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(t.cell("1 bit/cell", "functional"), Some(1.0));
+        assert_eq!(t.cell("2 bit/cell", "functional"), Some(1.0));
+        let e1 = t.cell("1 bit/cell", "E/equiv-bit (fJ)").unwrap();
+        let e2 = t.cell("2 bit/cell", "E/equiv-bit (fJ)").unwrap();
+        assert!(
+            e2 < 0.75 * e1,
+            "2-bit cells must cut energy/bit: {e2:.3} vs {e1:.3}"
+        );
+    }
+
+    #[test]
+    fn high_bit_counts_hit_the_ceiling() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            capacity_bits: 4,
+            bits_per_cell: vec![4],
+        };
+        let Artifact::Table(t) = run(&eval, &params).unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(
+            t.cell("4 bit/cell", "functional"),
+            Some(0.0),
+            "16 levels/cell should exceed the programming deadband"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! E16 / Fig. 13 (extension) — aging: search margin and correctness of a
+//! stored array over retention time and program/erase cycling.
+//!
+//! Retention loss shrinks the memory window (both thresholds drift toward
+//! the mid-window value), so a stored word searched years later sees less
+//! on-current on mismatches and more leakage on matches. The experiment
+//! derates the card ([`ftcam_devices::ReliabilityParams`]) and re-runs the
+//! standard row calibration at each age/cycle corner.
+
+use ftcam_array::calibrate_row;
+use ftcam_cells::{CellError, DesignKind};
+use ftcam_devices::ReliabilityParams;
+
+use crate::report::{Artifact, Table};
+use crate::Evaluator;
+
+/// Parameters for the aging study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Storage ages to evaluate (seconds).
+    pub ages: Vec<f64>,
+    /// Program/erase cycle counts to evaluate.
+    pub cycles: Vec<f64>,
+    /// Word width.
+    pub width: usize,
+    /// Design under test.
+    pub design: DesignKind,
+    /// Reliability model.
+    pub reliability: ReliabilityParams,
+}
+
+const YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            ages: vec![0.0, 10.0 * YEAR],
+            cycles: vec![1e3],
+            width: 8,
+            design: DesignKind::FeFet2T,
+            reliability: ReliabilityParams::default(),
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale preset.
+    pub fn full() -> Self {
+        Self {
+            ages: vec![0.0, YEAR, 10.0 * YEAR],
+            cycles: vec![1e3, 1e8, 1e10],
+            width: 32,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulation failures (a failed corner is reported in the
+/// table, not as an error).
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let mut table = Table::new(
+        "fig13",
+        format!(
+            "Aging of a stored {} word: margin and correctness vs retention time and cycling",
+            params.design.key()
+        ),
+        vec![
+            "age (years)".into(),
+            "cycles (log10)".into(),
+            "window factor".into(),
+            "E/bit (fJ)".into(),
+            "margin (mV)".into(),
+            "functional".into(),
+        ],
+    );
+    for &age in &params.ages {
+        for &cycles in &params.cycles {
+            let factor = params.reliability.retention_factor(age)
+                * params.reliability.endurance_factor(cycles);
+            let card = params.reliability.derate_card(eval.card(), age, cycles);
+            let label = format!("{:.0} y / 1e{:.0}", age / YEAR, cycles.log10());
+            match calibrate_row(
+                params.design,
+                &card,
+                eval.geometry(),
+                eval.timing(),
+                params.width,
+            ) {
+                Ok(calib) => table.push(
+                    label,
+                    vec![
+                        age / YEAR,
+                        cycles.log10(),
+                        factor,
+                        calib.row_energy(params.width / 2) / params.width as f64 * 1e15,
+                        calib.margin_match.min(calib.margin_mismatch_1) * 1e3,
+                        1.0,
+                    ],
+                ),
+                Err(CellError::CalibrationDecisionError { .. }) => table.push(
+                    label,
+                    vec![age / YEAR, cycles.log10(), factor, f64::NAN, f64::NAN, 0.0],
+                ),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    table.note(
+        "window factor multiplies the FeFET memory window and remanent \
+         polarization (logarithmic depolarization + post-knee fatigue); a \
+         non-functional corner (0) is the end of life for that storage/cycling \
+         history",
+    );
+    Ok(Artifact::Table(table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_and_ten_year_words_both_search_correctly() {
+        let eval = Evaluator::quick();
+        let Artifact::Table(t) = run(&eval, &Params::default()).unwrap() else {
+            panic!("expected table")
+        };
+        assert_eq!(t.cell("0 y / 1e3", "functional"), Some(1.0));
+        assert_eq!(t.cell("10 y / 1e3", "functional"), Some(1.0));
+        // Margin shrinks with age.
+        let m0 = t.cell("0 y / 1e3", "margin (mV)").unwrap();
+        let m10 = t.cell("10 y / 1e3", "margin (mV)").unwrap();
+        assert!(m10 < m0, "aged margin {m10} vs fresh {m0}");
+    }
+}

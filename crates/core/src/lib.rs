@@ -1,0 +1,41 @@
+//! `ftcam-core` — the energy-aware FeFET TCAM evaluation framework.
+//!
+//! This crate ties the stack together: it owns the technology card, layout
+//! constants and search clocking, hands out calibrated testbenches and
+//! array models, and implements one driver per table/figure of the paper's
+//! (reconstructed) evaluation — see `DESIGN.md` §4 for the experiment
+//! index.
+//!
+//! # Layers
+//!
+//! * [`Evaluator`] — configuration + calibration cache; the entry point.
+//! * [`experiments`] — `e01_*` … `e16_*` drivers, each returning an
+//!   [`Artifact`] (a [`Table`] or [`Figure`]) that the `experiments`
+//!   binary in `ftcam-bench` prints and serialises.
+//! * [`Table`] / [`Figure`] — serialisable report containers with
+//!   markdown/CSV rendering.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ftcam_core::{Evaluator, experiments};
+//!
+//! # fn main() -> Result<(), ftcam_cells::CellError> {
+//! let eval = Evaluator::quick();
+//! let table = experiments::e03_cell_table::run(&eval, &Default::default())?;
+//! println!("{}", table.to_markdown());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluator;
+pub mod experiments;
+mod plot;
+mod report;
+
+pub use evaluator::Evaluator;
+pub use plot::plot_figure;
+pub use report::{Artifact, Figure, Series, Table, TableRow};

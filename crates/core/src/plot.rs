@@ -1,0 +1,159 @@
+//! Terminal rendering of figures: compact ASCII charts so the
+//! `experiments` binary shows the *shape* of every figure inline, not just
+//! endpoint summaries.
+
+use crate::report::Figure;
+
+/// Characters used for plot marks, one per series (cycled).
+const MARKS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders a figure as an ASCII chart of `width × height` characters
+/// (plus axes and a legend). NaN samples (out-of-envelope points) are
+/// simply not drawn, matching their meaning in the CSV output.
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_core::{plot_figure, Figure};
+/// let mut fig = Figure::new("f", "demo", "x", "y", vec![0.0, 1.0, 2.0]);
+/// fig.push_series("a", vec![0.0, 1.0, 4.0]);
+/// let chart = plot_figure(&fig, 40, 10);
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("a"));
+/// ```
+pub fn plot_figure(figure: &Figure, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let finite = |v: &f64| v.is_finite();
+
+    let (x_min, x_max) = bounds(figure.x.iter().filter(|v| finite(v)).copied());
+    let (y_min, y_max) = bounds(
+        figure
+            .series
+            .iter()
+            .flat_map(|s| s.y.iter())
+            .filter(|v| finite(v))
+            .copied(),
+    );
+    if x_min > x_max || y_min > y_max {
+        return String::from("(no finite data to plot)\n");
+    }
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, series) in figure.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for (&x, &y) in figure.x.iter().zip(&series.y) {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // screen coordinates grow downward
+            grid[row.min(height - 1)][col.min(width - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{:>11} ┐\n", format_axis(y_max)));
+    for row in &grid {
+        out.push_str("            │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>11} └{}\n", format_axis(y_min), "─".repeat(width)));
+    out.push_str(&format!(
+        "{:>13}{}{:>width$}\n",
+        format_axis(x_min),
+        " ".repeat(width.saturating_sub(format_axis(x_max).len())),
+        format_axis(x_max),
+        width = format_axis(x_max).len()
+    ));
+    // Legend.
+    for (si, series) in figure.series.iter().enumerate() {
+        out.push_str(&format!(
+            "   {} {}\n",
+            MARKS[si % MARKS.len()],
+            series.name
+        ));
+    }
+    out
+}
+
+fn bounds<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn format_axis(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let mag = v.abs();
+    if (0.01..10_000.0).contains(&mag) {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Figure;
+
+    fn figure() -> Figure {
+        let mut f = Figure::new("f", "t", "x", "y", vec![0.0, 1.0, 2.0, 3.0]);
+        f.push_series("rising", vec![0.0, 1.0, 2.0, 3.0]);
+        f.push_series("falling", vec![3.0, 2.0, 1.0, 0.0]);
+        f
+    }
+
+    #[test]
+    fn marks_and_legend_present() {
+        let chart = plot_figure(&figure(), 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("rising"));
+        assert!(chart.contains("falling"));
+        // Axis labels on both ends.
+        assert!(chart.contains('0'));
+        assert!(chart.contains('3'));
+    }
+
+    #[test]
+    fn rising_series_touches_opposite_corners() {
+        let mut f = Figure::new("f", "t", "x", "y", vec![0.0, 1.0]);
+        f.push_series("r", vec![0.0, 1.0]);
+        let chart = plot_figure(&f, 20, 5);
+        let rows: Vec<&str> = chart
+            .lines()
+            .filter(|l| l.contains('│'))
+            .collect();
+        // Highest value drawn on the first grid row, lowest on the last.
+        assert!(rows.first().unwrap().contains('*'));
+        assert!(rows.last().unwrap().contains('*'));
+    }
+
+    #[test]
+    fn nan_points_are_skipped_not_crashing() {
+        let mut f = Figure::new("f", "t", "x", "y", vec![0.0, 1.0, 2.0]);
+        f.push_series("gappy", vec![1.0, f64::NAN, 3.0]);
+        let chart = plot_figure(&f, 30, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn degenerate_figures_do_not_panic() {
+        let f = Figure::new("f", "t", "x", "y", vec![]);
+        let chart = plot_figure(&f, 30, 6);
+        assert!(chart.contains("no finite data"));
+        let mut flat = Figure::new("f", "t", "x", "y", vec![1.0, 2.0]);
+        flat.push_series("const", vec![5.0, 5.0]);
+        let chart = plot_figure(&flat, 30, 6);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,303 @@
+//! Serialisable report containers for tables and figures.
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled row of numeric cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Row label (design name, configuration, ...).
+    pub label: String,
+    /// Cell values aligned with the table's columns.
+    pub values: Vec<f64>,
+}
+
+/// A paper-style numeric table.
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_core::Table;
+/// let mut t = Table::new("t1", "demo", vec!["a".into(), "b".into()]);
+/// t.push("row", vec![1.0, 2.5]);
+/// assert!(t.to_markdown().contains("| row |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment id (`"table1"`, `"fig4"`, ...).
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// Column headers (excluding the label column).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<TableRow>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row/column mismatch");
+        self.rows.push(TableRow {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Adds a footnote.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.label == row)
+            .and_then(|r| r.values.get(c).copied())
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str("| |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("| {} |", row.label));
+            for v in &row.values {
+                out.push_str(&format!(" {} |", format_sig(*v)));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+}
+
+/// One named y-series of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name (legend entry).
+    pub name: String,
+    /// Y values aligned with the figure's x vector.
+    pub y: Vec<f64>,
+}
+
+/// A paper-style figure: shared x axis, several series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Experiment id (`"fig4"`, ...).
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// X-axis label (with unit).
+    pub x_label: String,
+    /// Y-axis label (with unit).
+    pub y_label: String,
+    /// Shared x samples.
+    pub x: Vec<f64>,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x: Vec<f64>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x,
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length differs from the x vector.
+    pub fn push_series(&mut self, name: impl Into<String>, y: Vec<f64>) {
+        assert_eq!(y.len(), self.x.len(), "series/x length mismatch");
+        self.series.push(Series {
+            name: name.into(),
+            y,
+        });
+    }
+
+    /// Adds a footnote.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders as CSV: `x, series1, series2, ...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("{}", self.x_label.replace(',', ";"));
+        for s in &self.series {
+            out.push_str(&format!(",{}", s.name.replace(',', ";")));
+        }
+        out.push('\n');
+        for (i, x) in self.x.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push_str(&format!(",{}", s.y[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a compact preview (first/last points) for terminal output.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "### {} — {}\n\nx = {} ({} points), y = {}\n\n",
+            self.id,
+            self.title,
+            self.x_label,
+            self.x.len(),
+            self.y_label
+        );
+        for s in &self.series {
+            let first = s.y.first().copied().unwrap_or(f64::NAN);
+            let last = s.y.last().copied().unwrap_or(f64::NAN);
+            out.push_str(&format!(
+                "- {}: {} → {}\n",
+                s.name,
+                format_sig(first),
+                format_sig(last)
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+}
+
+/// A produced experiment artefact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Artifact {
+    /// A numeric table.
+    Table(Table),
+    /// A figure (x + series).
+    Figure(Figure),
+}
+
+impl Artifact {
+    /// The experiment id.
+    pub fn id(&self) -> &str {
+        match self {
+            Artifact::Table(t) => &t.id,
+            Artifact::Figure(f) => &f.id,
+        }
+    }
+
+    /// Renders for terminal display.
+    pub fn to_markdown(&self) -> String {
+        match self {
+            Artifact::Table(t) => t.to_markdown(),
+            Artifact::Figure(f) => f.to_markdown(),
+        }
+    }
+}
+
+/// Four-significant-digit formatting that keeps tables readable across the
+/// femto–giga range.
+fn format_sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let mag = v.abs();
+    if (0.01..10_000.0).contains(&mag) {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips_and_renders() {
+        let mut t = Table::new("table1", "cells", vec!["e".into(), "d".into()]);
+        t.push("fefet2t", vec![1.5e-15, 0.9e-9]);
+        t.note("synthetic");
+        let md = t.to_markdown();
+        assert!(md.contains("fefet2t"));
+        assert!(md.contains("1.500e-15"));
+        assert!(md.contains("> synthetic"));
+        assert_eq!(t.cell("fefet2t", "d"), Some(0.9e-9));
+        assert_eq!(t.cell("fefet2t", "nope"), None);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/column mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("x", "y", vec!["a".into()]);
+        t.push("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn figure_csv_has_header_and_rows() {
+        let mut f = Figure::new("fig4", "energy", "width", "fJ/bit", vec![8.0, 16.0]);
+        f.push_series("fefet2t", vec![1.0, 1.1]);
+        let csv = f.to_csv();
+        assert!(csv.starts_with("width,fefet2t\n"));
+        assert!(csv.contains("16,1.1"));
+    }
+
+    #[test]
+    fn artifact_dispatches() {
+        let t = Table::new("t", "x", vec![]);
+        let a = Artifact::Table(t);
+        assert_eq!(a.id(), "t");
+        assert!(a.to_markdown().contains("###"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Compact device models for the `ftcam` circuit stack.
+//!
+//! The original paper evaluates FeFET TCAM cells with foundry 45 nm
+//! transistor models and a TCAD-calibrated ferroelectric compact model.
+//! Neither exists in the Rust ecosystem, so this crate implements
+//! physics-inspired substitutes (see `DESIGN.md` §1 for the substitution
+//! rationale):
+//!
+//! * [`Mosfet`] — a smooth EKV-style charge-interpolation MOSFET covering
+//!   weak and strong inversion with a single expression, which keeps the
+//!   Newton solver robust across the decades of current a TCAM search
+//!   traverses.
+//! * [`FeFet`] — a MOSFET whose threshold voltage is shifted by a
+//!   ferroelectric polarization state with Preisach-style saturating
+//!   hysteresis and nucleation-limited-switching time dynamics
+//!   ([`ferro::Polarization`]).
+//! * [`Reram`] — a bistable programmable resistor for the 2T-2R baseline.
+//! * [`TechCard`] — a bundle of calibrated parameters playing the role of a
+//!   PDK device card.
+//!
+//! # Example
+//!
+//! ```
+//! use ftcam_devices::{Mosfet, TechCard};
+//!
+//! let card = TechCard::hp45();
+//! // On-current of a minimum NMOS at VGS = VDS = VDD:
+//! let (id, _, _) = Mosfet::channel_currents(&card.nmos, card.vdd, card.vdd);
+//! assert!(id > 50e-6 && id < 300e-6, "I_on = {id:.3e} A");
+//! // Off-current at VGS = 0 is many decades lower:
+//! let (ioff, _, _) = Mosfet::channel_currents(&card.nmos, 0.0, card.vdd);
+//! assert!(id / ioff > 1e5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod caps;
+mod cards;
+mod fefet;
+pub mod ferro;
+mod mosfet;
+mod reram;
+mod retention;
+
+pub use cards::TechCard;
+pub use fefet::{FeFet, FeFetParams};
+pub use mosfet::{Mosfet, MosfetParams, Polarity};
+pub use reram::{Reram, ReramParams, ReramState};
+pub use retention::ReliabilityParams;

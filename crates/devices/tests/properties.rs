@@ -1,0 +1,99 @@
+//! Property-based tests of device-model invariants.
+
+use ftcam_devices::ferro::{FerroParams, Polarization};
+use ftcam_devices::{Mosfet, TechCard};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Drain current is monotone in V_GS at fixed V_DS (no negative gm).
+    #[test]
+    fn mosfet_current_monotone_in_vgs(
+        vgs in -0.5..1.5f64,
+        dv in 1e-4..0.3f64,
+        vds in 0.01..1.2f64,
+    ) {
+        let p = TechCard::hp45().nmos;
+        let (i1, _, _) = Mosfet::channel_currents(&p, vgs, vds);
+        let (i2, _, _) = Mosfet::channel_currents(&p, vgs + dv, vds);
+        prop_assert!(i2 >= i1 - 1e-15, "i({}) = {i1:.3e} > i({}) = {i2:.3e}", vgs, vgs + dv);
+    }
+
+    /// Swapping source and drain negates the current (inherent symmetry).
+    #[test]
+    fn mosfet_source_drain_symmetry(
+        vg in -0.5..1.5f64,
+        vd in -1.0..1.0f64,
+        vs in -1.0..1.0f64,
+    ) {
+        let p = TechCard::hp45().nmos;
+        let (fwd, _, _) = Mosfet::channel_currents(&p, vg - vs, vd - vs);
+        let (rev, _, _) = Mosfet::channel_currents(&p, vg - vd, vs - vd);
+        prop_assert!(
+            (fwd + rev).abs() <= 1e-9 * fwd.abs().max(1e-15),
+            "fwd {fwd:.3e} rev {rev:.3e}"
+        );
+    }
+
+    /// The reported gm/gds match central finite differences everywhere.
+    #[test]
+    fn mosfet_derivatives_consistent(
+        vgs in -0.3..1.3f64,
+        vds in 0.01..1.2f64,
+    ) {
+        let p = TechCard::hp45().nmos;
+        let h = 1e-6;
+        let (_, gm, gds) = Mosfet::channel_currents(&p, vgs, vds);
+        let (ip, _, _) = Mosfet::channel_currents(&p, vgs + h, vds);
+        let (im, _, _) = Mosfet::channel_currents(&p, vgs - h, vds);
+        let fd = (ip - im) / (2.0 * h);
+        prop_assert!((fd - gm).abs() <= 1e-3 * gm.abs().max(1e-12));
+        let (ip, _, _) = Mosfet::channel_currents(&p, vgs, vds + h);
+        let (im, _, _) = Mosfet::channel_currents(&p, vgs, vds - h);
+        let fd = (ip - im) / (2.0 * h);
+        prop_assert!((fd - gds).abs() <= 1e-3 * gds.abs().max(1e-12));
+    }
+
+    /// Polarization stays in [-1, 1] under any drive sequence.
+    #[test]
+    fn polarization_stays_bounded(
+        p0 in -1.0..1.0f64,
+        drives in proptest::collection::vec((-6.0..6.0f64, 1e-12..1e-7f64), 1..20),
+    ) {
+        let params = FerroParams::default();
+        let mut p = Polarization::new(p0);
+        for (v, dt) in drives {
+            p.advance(&params, v, dt);
+            prop_assert!((-1.0..=1.0).contains(&p.value()), "p = {}", p.value());
+        }
+    }
+
+    /// Polarization moves toward the drive's sign (never away) once the
+    /// state is outside the hysteresis band.
+    #[test]
+    fn strong_positive_drive_never_decreases_p(
+        p0 in -1.0..0.9f64,
+        dt in 1e-10..1e-7f64,
+    ) {
+        let params = FerroParams::default();
+        let mut p = Polarization::new(p0);
+        let before = p.value();
+        p.advance(&params, 5.0, dt);
+        prop_assert!(p.value() >= before - 1e-12);
+    }
+
+    /// Switching amount is monotone in pulse duration.
+    #[test]
+    fn switching_monotone_in_time(
+        dt1 in 1e-10..1e-8f64,
+        scale in 1.0..20.0f64,
+    ) {
+        let params = FerroParams::default();
+        let mut a = Polarization::new(-1.0);
+        let mut b = Polarization::new(-1.0);
+        a.advance(&params, 3.4, dt1);
+        b.advance(&params, 3.4, dt1 * scale);
+        prop_assert!(b.value() >= a.value() - 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Engineering-notation formatting shared by all quantity types.
+
+/// SI prefixes from 10⁻¹⁸ to 10¹⁵, aligned so index 6 is the empty prefix.
+const PREFIXES: [&str; 12] = ["a", "f", "p", "n", "µ", "m", "", "k", "M", "G", "T", "P"];
+
+/// Formats `value` with an SI prefix and the given unit symbol.
+///
+/// The mantissa is rendered with up to four significant digits and trailing
+/// zeros trimmed, which reads naturally for circuit quantities
+/// (`"1.25 fJ"`, `"380 mV"`, `"0 V"`).
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_units::format_engineering;
+/// assert_eq!(format_engineering(1.25e-15, "J"), "1.25 fJ");
+/// assert_eq!(format_engineering(-0.38, "V"), "-380 mV");
+/// assert_eq!(format_engineering(0.0, "V"), "0 V");
+/// assert_eq!(format_engineering(2.0e9, "Hz"), "2 GHz");
+/// ```
+pub fn format_engineering(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let magnitude = value.abs();
+    // Exponent snapped down to a multiple of 3, clamped to the prefix table.
+    let exp3 = (magnitude.log10() / 3.0).floor() as i32;
+    let exp3 = exp3.clamp(-6, 5);
+    let scaled = value / 10f64.powi(exp3 * 3);
+    let prefix = PREFIXES[(exp3 + 6) as usize];
+    let mantissa = trim_mantissa(scaled);
+    format!("{mantissa} {prefix}{unit}")
+}
+
+/// Renders with 4 significant digits, trimming trailing zeros and a bare dot.
+fn trim_mantissa(x: f64) -> String {
+    let s = format!("{x:.4}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    // `-0` can appear from rounding tiny negatives; normalise it.
+    if trimmed == "-0" {
+        "0".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_correct_prefix() {
+        assert_eq!(format_engineering(25e-15, "F"), "25 fF");
+        assert_eq!(format_engineering(1e-9, "s"), "1 ns");
+        assert_eq!(format_engineering(3.3, "V"), "3.3 V");
+        assert_eq!(format_engineering(4.7e3, "Ω"), "4.7 kΩ");
+        assert_eq!(format_engineering(1e-18, "J"), "1 aJ");
+    }
+
+    #[test]
+    fn clamps_beyond_table() {
+        // 1e-21 is below the atto row: clamp to atto and show a small mantissa.
+        assert_eq!(format_engineering(1e-21, "J"), "0.001 aJ");
+        assert_eq!(format_engineering(1e18, "Hz"), "1000 PHz");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(format_engineering(-1.5e-12, "s"), "-1.5 ps");
+    }
+
+    #[test]
+    fn non_finite_values_pass_through() {
+        assert_eq!(format_engineering(f64::INFINITY, "V"), "inf V");
+    }
+
+    #[test]
+    fn boundary_exactly_1000() {
+        assert_eq!(format_engineering(1000.0, "Hz"), "1 kHz");
+        assert_eq!(format_engineering(999.9, "Hz"), "999.9 Hz");
+    }
+}

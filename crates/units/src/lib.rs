@@ -1,0 +1,78 @@
+//! Physical-quantity newtypes for the `ftcam` circuit-simulation stack.
+//!
+//! Analog/EDA code is riddled with raw `f64`s whose meaning (volts? seconds?
+//! femtofarads?) is only documented by variable names. Following the newtype
+//! guideline (C-NEWTYPE), this crate wraps every quantity the simulator and
+//! the TCAM evaluation framework exchange in a dedicated type, with:
+//!
+//! * unit-correct arithmetic between quantities (`Volts * Amps = Watts`,
+//!   `Watts * Seconds = Joules`, `Volts / Ohms = Amps`, ...),
+//! * constructors for the SI prefixes that actually occur in nanoscale
+//!   circuits (`Farads::from_femto`, `Seconds::from_pico`, ...),
+//! * engineering-notation [`std::fmt::Display`] (`"1.25 fJ"`, `"380 mV"`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ftcam_units::{Volts, Farads, Joules};
+//!
+//! let vdd = Volts::new(0.8);
+//! let c_ml = Farads::from_femto(25.0);
+//! // Energy drawn from the supply when charging a capacitor to VDD: C·V².
+//! let e: Joules = c_ml * vdd * vdd;
+//! assert!((e.get() - 16.0e-15).abs() < 1e-20);
+//! assert_eq!(format!("{e}"), "16 fJ");
+//! ```
+//!
+//! The wrapped value is always the base SI unit (volts, seconds, farads...),
+//! accessible via `.get()`. The types are `Copy` and have no invariants
+//! beyond static distinction and readable formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fmt_eng;
+mod ops;
+mod quantities;
+
+pub use fmt_eng::format_engineering;
+pub use quantities::{
+    Amps, Celsius, Coulombs, Farads, Hertz, Joules, Kelvin, Meters, Ohms, Seconds, Siemens, Volts,
+    Watts,
+};
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+/// Elementary charge in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Thermal voltage kT/q at the given temperature.
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_units::{thermal_voltage, Kelvin};
+/// let vt = thermal_voltage(Kelvin::new(300.0));
+/// assert!((vt.get() - 0.02585).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temperature: Kelvin) -> Volts {
+    Volts::new(BOLTZMANN * temperature.get() / ELEMENTARY_CHARGE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_room_temperature() {
+        let vt = thermal_voltage(Kelvin::new(300.15));
+        assert!(vt.get() > 0.0258 && vt.get() < 0.0261, "vt = {vt}");
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        let a = thermal_voltage(Kelvin::new(300.0)).get();
+        let b = thermal_voltage(Kelvin::new(600.0)).get();
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

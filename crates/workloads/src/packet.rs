@@ -1,0 +1,171 @@
+//! Synthetic packet-classification (ACL) workload.
+//!
+//! Rules are 5-tuple-style: source prefix, destination prefix, source port,
+//! destination port and protocol, concatenated into one ternary word. Field
+//! wildcarding follows the shape of published ClassBench-style rule sets:
+//! ports are usually wildcarded or exact, protocols mostly TCP/UDP/any.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::model::TcamTable;
+use crate::ternary::{Ternary, TernaryWord};
+use crate::Workload;
+
+/// Parameters for [`PacketClassifierWorkload`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketClassifierParams {
+    /// Number of classifier rules.
+    pub rules: usize,
+    /// Number of packet headers to classify.
+    pub queries: usize,
+    /// Bits per IP-address field (scaled-down headers keep testbenches
+    /// tractable; 8–32).
+    pub addr_bits: usize,
+    /// Bits per port field.
+    pub port_bits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PacketClassifierParams {
+    fn default() -> Self {
+        Self {
+            rules: 64,
+            queries: 256,
+            addr_bits: 16,
+            port_bits: 8,
+            seed: 0xAC1_F00D,
+        }
+    }
+}
+
+impl PacketClassifierParams {
+    /// Total word width: two addresses, two ports, 4-bit protocol tag.
+    pub fn width(&self) -> usize {
+        2 * self.addr_bits + 2 * self.port_bits + 4
+    }
+}
+
+/// Generator for synthetic ACL workloads.
+#[derive(Debug, Clone)]
+pub struct PacketClassifierWorkload {
+    params: PacketClassifierParams,
+}
+
+impl PacketClassifierWorkload {
+    /// Creates a generator with the given parameters.
+    pub fn new(params: PacketClassifierParams) -> Self {
+        Self { params }
+    }
+
+    /// Generates the rule table and header stream.
+    pub fn generate(&self) -> Workload {
+        let p = &self.params;
+        let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+        let mut table = TcamTable::new(p.width());
+        for _ in 0..p.rules {
+            let mut digits = Vec::with_capacity(p.width());
+            // Source/destination prefixes: length biased to medium/long.
+            for _ in 0..2 {
+                let len = rng.gen_range(p.addr_bits / 2..=p.addr_bits);
+                let val: u64 = rng.gen();
+                push_prefix(&mut digits, val, len, p.addr_bits);
+            }
+            // Ports: 60% wildcard, else exact.
+            for _ in 0..2 {
+                if rng.gen_bool(0.6) {
+                    push_prefix(&mut digits, 0, 0, p.port_bits);
+                } else {
+                    let val: u64 = rng.gen();
+                    push_prefix(&mut digits, val, p.port_bits, p.port_bits);
+                }
+            }
+            // Protocol tag: any (X), TCP (0110) or UDP (1011).
+            let proto = match rng.gen_range(0..3) {
+                0 => vec![Ternary::X; 4],
+                1 => bits(0b0110, 4),
+                _ => bits(0b1011, 4),
+            };
+            digits.extend(proto);
+            table.push(TernaryWord::new(digits));
+        }
+
+        let mut queries = Vec::with_capacity(p.queries);
+        for _ in 0..p.queries {
+            let mut digits = Vec::with_capacity(p.width());
+            for _ in 0..2 {
+                let val: u64 = rng.gen();
+                push_prefix(&mut digits, val, p.addr_bits, p.addr_bits);
+            }
+            for _ in 0..2 {
+                let val: u64 = rng.gen();
+                push_prefix(&mut digits, val, p.port_bits, p.port_bits);
+            }
+            let proto = if rng.gen_bool(0.5) {
+                bits(0b0110, 4)
+            } else {
+                bits(0b1011, 4)
+            };
+            digits.extend(proto);
+            queries.push(TernaryWord::new(digits));
+        }
+        Workload {
+            name: format!("packet-classification/{}x{}", p.rules, p.width()),
+            table,
+            queries,
+        }
+    }
+}
+
+fn push_prefix(digits: &mut Vec<Ternary>, value: u64, len: usize, width: usize) {
+    for i in 0..width {
+        if i < len {
+            digits.push(Ternary::from_bit(value >> (width - 1 - i) & 1 == 1));
+        } else {
+            digits.push(Ternary::X);
+        }
+    }
+}
+
+fn bits(value: u64, width: usize) -> Vec<Ternary> {
+    (0..width)
+        .rev()
+        .map(|i| Ternary::from_bit(value >> i & 1 == 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_combines_fields() {
+        let p = PacketClassifierParams::default();
+        assert_eq!(p.width(), 2 * 16 + 2 * 8 + 4);
+    }
+
+    #[test]
+    fn rules_contain_wildcards_queries_do_not() {
+        let w = PacketClassifierWorkload::new(PacketClassifierParams::default()).generate();
+        assert!(w.table.rows().iter().any(|r| r.wildcard_count() > 0));
+        assert!(w.queries.iter().all(|q| q.wildcard_count() == 0));
+        assert_eq!(w.table.len(), 64);
+        assert_eq!(w.queries.len(), 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PacketClassifierWorkload::new(PacketClassifierParams::default()).generate();
+        let b = PacketClassifierWorkload::new(PacketClassifierParams::default()).generate();
+        assert_eq!(a.table, b.table);
+        let c = PacketClassifierWorkload::new(PacketClassifierParams {
+            seed: 1,
+            ..PacketClassifierParams::default()
+        })
+        .generate();
+        assert_ne!(a.table, c.table);
+    }
+}

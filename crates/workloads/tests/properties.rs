@@ -1,0 +1,89 @@
+//! Property-based tests of the ternary data model and golden TCAM.
+
+use ftcam_workloads::{TcamTable, Ternary, TernaryWord};
+use proptest::prelude::*;
+
+fn ternary() -> impl Strategy<Value = Ternary> {
+    prop_oneof![
+        Just(Ternary::Zero),
+        Just(Ternary::One),
+        Just(Ternary::X),
+    ]
+}
+
+fn word(width: usize) -> impl Strategy<Value = TernaryWord> {
+    proptest::collection::vec(ternary(), width).prop_map(TernaryWord::new)
+}
+
+proptest! {
+    /// Display/parse round-trips exactly.
+    #[test]
+    fn parse_display_round_trip(w in word(24)) {
+        let s = w.to_string();
+        let back: TernaryWord = s.parse().expect("own display parses");
+        prop_assert_eq!(w, back);
+    }
+
+    /// Mismatch count is bounded by the width and zero against all-X.
+    #[test]
+    fn mismatch_count_bounds(stored in word(16), query in word(16)) {
+        let k = stored.mismatch_count(&query);
+        prop_assert!(k <= 16);
+        prop_assert_eq!(stored.mismatch_count(&TernaryWord::all_x(16)), 0);
+        // Matching is exactly k == 0.
+        prop_assert_eq!(stored.matches(&query), k == 0);
+    }
+
+    /// Digit matching is symmetric (either side's X absorbs).
+    #[test]
+    fn digit_matching_symmetric(a in ternary(), b in ternary()) {
+        prop_assert_eq!(a.matches(b), b.matches(a));
+    }
+
+    /// `with_mismatches` hits the requested Hamming distance exactly for
+    /// definite words.
+    #[test]
+    fn with_mismatches_exact(value in any::<u16>(), k in 0usize..=16) {
+        let w = TernaryWord::from_bits(u64::from(value), 16);
+        let q = w.with_mismatches(k);
+        prop_assert_eq!(w.mismatch_count(&q), k);
+        let qs = w.with_spread_mismatches(k);
+        prop_assert_eq!(w.mismatch_count(&qs), k);
+    }
+
+    /// Priority search returns the first index `search_all` reports, and
+    /// every reported row really matches.
+    #[test]
+    fn table_search_consistency(
+        rows in proptest::collection::vec(word(8), 1..12),
+        query in word(8),
+    ) {
+        let mut table = TcamTable::new(8);
+        table.extend(rows);
+        let all = table.search_all(&query);
+        prop_assert_eq!(table.search(&query), all.first().copied());
+        for &r in &all {
+            prop_assert!(table.rows()[r].matches(&query));
+        }
+        // And mismatch profile agrees with membership.
+        let profile = table.mismatch_profile(&query);
+        for (r, &k) in profile.iter().enumerate() {
+            prop_assert_eq!(k == 0, all.contains(&r));
+        }
+    }
+
+    /// Prefix words match exactly the addresses sharing the prefix.
+    #[test]
+    fn prefix_matching_semantics(value in any::<u32>(), len in 0usize..=16, probe in any::<u32>()) {
+        let w = TernaryWord::prefix(u64::from(value), len, 16);
+        let addr = TernaryWord::from_bits(u64::from(probe), 16);
+        let expect = if len == 0 {
+            true
+        } else {
+            // Compare the top `len` of the low 16 bits on both sides.
+            ((u64::from(value) & 0xFFFF) >> (16 - len))
+                == ((u64::from(probe) & 0xFFFF) >> (16 - len))
+        };
+        prop_assert_eq!(w.matches(&addr), expect);
+    }
+}

@@ -1,0 +1,53 @@
+//! Multi-level (analog) CAM: store *ranges* in the 2-FeFET cell via
+//! intermediate polarization and search with analog levels — the FeCAM
+//! extension of the binary TCAM designs.
+//!
+//! ```text
+//! cargo run --release --example analog_cam
+//! ```
+
+use ftcam::cells::{LevelRange, McamRow, SearchTiming};
+use ftcam::devices::TechCard;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let timing = SearchTiming::relaxed();
+
+    // A 4-cell word storing intervals: think "classify a 4-feature vector".
+    let mut row = McamRow::new(TechCard::hp45(), Default::default(), 4)?;
+    row.program(&[
+        LevelRange::new(0.2, 0.6),
+        LevelRange::any(),
+        LevelRange::new(0.0, 0.3),
+        LevelRange::new(0.7, 1.0),
+    ])?;
+    println!("stored ranges: {:?}\n", row.ranges());
+
+    for (label, probe) in [
+        ("inside every range ", [0.4, 0.9, 0.1, 0.8]),
+        ("feature 0 too high  ", [0.8, 0.9, 0.1, 0.8]),
+        ("feature 2 too high  ", [0.4, 0.9, 0.6, 0.8]),
+        ("feature 3 too low   ", [0.4, 0.9, 0.1, 0.3]),
+    ] {
+        let out = row.search(&probe, &timing)?;
+        assert_eq!(out.matched, row.golden_matches(&probe));
+        println!(
+            "{label} {probe:?} → {} (margin {:.0} mV, {:.2} fJ)",
+            if out.matched { "MATCH   " } else { "mismatch" },
+            out.sense_margin * 1e3,
+            out.energy_total * 1e15
+        );
+    }
+
+    // Quantised mode: 2 bits per cell = double density vs binary TCAM.
+    println!("\n2-bit quantised mode (4 cells = 8 equivalent bits):");
+    let mut row = McamRow::new(TechCard::hp45(), Default::default(), 4)?;
+    let digits = [2usize, 0, 3, 1];
+    row.program_quantized(&digits, 2)?;
+    let exact = McamRow::quantized_levels(&digits, 2);
+    let hit = row.search(&exact, &timing)?;
+    println!("  exact digits {digits:?} → matched = {}", hit.matched);
+    let off = McamRow::quantized_levels(&[2, 1, 3, 1], 2);
+    let miss = row.search(&off, &timing)?;
+    println!("  one digit off        → matched = {}", miss.matched);
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Longest-prefix-match routing: the paper's motivating application.
+//!
+//! Generates a synthetic BGP-shaped routing table, performs lookups with
+//! the functional golden model, and projects the array-level search energy
+//! of each TCAM design under the measured workload statistics.
+//!
+//! ```text
+//! cargo run --release --example ip_router
+//! ```
+
+use ftcam::array::{ArrayModel, ArrayParams, CalibrationCache};
+use ftcam::cells::{DesignKind, SearchTiming};
+use ftcam::devices::TechCard;
+use ftcam::workloads::{IpRoutingWorkload, IpRoutingWorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64-entry, 16-bit-prefix router (scaled down so the transistor-level
+    // calibration stays fast; bump `width`/`entries` for the full thing).
+    let params = IpRoutingWorkloadParams {
+        entries: 64,
+        queries: 512,
+        hit_fraction: 0.8,
+        width: 16,
+        seed: 2026,
+    };
+    let workload = IpRoutingWorkload::new(params).generate();
+    println!("workload: {}", workload.name);
+
+    // Functional behaviour: longest-prefix match via priority order.
+    let mut hits = 0usize;
+    for q in &workload.queries {
+        if let Some(row) = workload.table.search(q) {
+            hits += 1;
+            // Priority order = longest prefix first, so `search` == LPM.
+            assert_eq!(workload.table.longest_prefix_match(q), Some(row));
+        }
+    }
+    println!(
+        "lookups: {} / {} hit some prefix",
+        hits,
+        workload.queries.len()
+    );
+
+    // Workload statistics that drive the energy model.
+    let hist = workload.mismatch_histogram();
+    let toggles = workload.toggle_stats();
+    println!(
+        "mismatch stats: mean {:.2} mismatching cells/row, {:.2}% of (query,row) pairs match",
+        hist.mean(),
+        100.0 * hist.match_fraction()
+    );
+    println!(
+        "SL activity: {:.2} toggles/search vs {:.2} driven digits/search (gating ratio {:.2})\n",
+        toggles.transitions_per_search(),
+        toggles.definite_digits_per_search(),
+        toggles.gating_activity_ratio()
+    );
+
+    // Array-level projection per design.
+    let cache = CalibrationCache::new(
+        TechCard::hp45(),
+        Default::default(),
+        SearchTiming::default(),
+    );
+    let rows = workload.table.len();
+    let width = workload.table.width();
+    println!("array: {rows} x {width}");
+    println!(
+        "{:<10} {:>16} {:>14}",
+        "design", "energy/query", "vs 2-FeFET"
+    );
+    let baseline = {
+        let calib = cache.get(DesignKind::FeFet2T, width)?;
+        let model = ArrayModel::new(ArrayParams::new(DesignKind::FeFet2T, rows, width), calib);
+        model.average_search_energy(&hist, Some(&toggles))
+    };
+    for kind in DesignKind::ALL {
+        let calib = cache.get(kind, width)?;
+        let model = ArrayModel::new(ArrayParams::new(kind, rows, width), calib);
+        let e = model.average_search_energy(&hist, Some(&toggles));
+        println!(
+            "{:<10} {:>12.2} pJ {:>13.2}x",
+            kind.key(),
+            e * 1e12,
+            e / baseline
+        );
+    }
+    Ok(())
+}

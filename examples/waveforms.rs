@@ -1,0 +1,76 @@
+//! Dumps match-line transient waveforms as CSV for plotting (the data
+//! behind the paper's Fig. 3).
+//!
+//! ```text
+//! cargo run --release --example waveforms > ml_waveforms.csv
+//! ```
+
+use ftcam::cells::{DesignKind, RowTestbench, SearchTiming};
+use ftcam::devices::TechCard;
+use ftcam::workloads::{Ternary, TernaryWord};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let width = 16;
+    let stored: TernaryWord = (0..width)
+        .map(|i| {
+            if i % 2 == 0 {
+                Ternary::One
+            } else {
+                Ternary::Zero
+            }
+        })
+        .collect();
+    let timing = SearchTiming::default();
+
+    // Collect (label, trace) pairs for two designs and three scenarios.
+    let mut columns: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    for kind in [DesignKind::FeFet2T, DesignKind::EaLowSwing] {
+        let mut row = RowTestbench::new(
+            kind.instantiate(),
+            TechCard::hp45(),
+            Default::default(),
+            width,
+        )?;
+        row.program_word(&stored)?;
+        for (name, k) in [("match", 0usize), ("miss1", 1), ("miss8", 8)] {
+            let query = stored.with_spread_mismatches(k);
+            let (_, traces) = row.search_traced(&query, &timing)?;
+            let t = traces.last().expect("one stage");
+            columns.push((
+                format!("{}_{name}", kind.key()),
+                t.times.clone(),
+                t.volts.clone(),
+            ));
+        }
+    }
+
+    // Emit a merged CSV on a uniform grid.
+    let t_total = 2.0 * timing.cycle();
+    let n = 400usize;
+    print!("time_s");
+    for (label, _, _) in &columns {
+        print!(",{label}");
+    }
+    println!();
+    for i in 0..n {
+        let t = t_total * i as f64 / (n - 1) as f64;
+        print!("{t:e}");
+        for (_, times, volts) in &columns {
+            let idx = times.partition_point(|&x| x < t).min(times.len() - 1);
+            let v = if idx == 0 {
+                volts[0]
+            } else {
+                let (t0, t1) = (times[idx - 1], times[idx]);
+                let (v0, v1) = (volts[idx - 1], volts[idx]);
+                if t1 == t0 {
+                    v1
+                } else {
+                    v0 + (v1 - v0) * ((t - t0) / (t1 - t0)).clamp(0.0, 1.0)
+                }
+            };
+            print!(",{v:.5}");
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! The paper's headline claims, asserted end-to-end across the whole
+//! stack (device models → cells → calibration → array projection).
+
+use ftcam::array::{ArrayModel, ArrayParams, CalibrationCache};
+use ftcam::cells::{DesignKind, SearchTiming};
+use ftcam::devices::TechCard;
+
+fn cache() -> CalibrationCache {
+    CalibrationCache::new(TechCard::hp45(), Default::default(), SearchTiming::fast())
+}
+
+fn energy_per_bit(cache: &CalibrationCache, kind: DesignKind, rows: usize, width: usize) -> f64 {
+    let calib = cache.get(kind, width).expect("calibration runs");
+    let model = ArrayModel::new(ArrayParams::new(kind, rows, width), calib);
+    model.typical_energy_per_bit()
+}
+
+/// Claim 1: FeFET TCAM beats the CMOS 16T baseline on search energy.
+#[test]
+fn fefet_beats_cmos_baseline() {
+    let cache = cache();
+    let cmos = energy_per_bit(&cache, DesignKind::Cmos16T, 64, 16);
+    let fefet = energy_per_bit(&cache, DesignKind::FeFet2T, 64, 16);
+    assert!(
+        fefet < 0.75 * cmos,
+        "2-FeFET {:.3} fJ/bit vs CMOS {:.3} fJ/bit",
+        fefet * 1e15,
+        cmos * 1e15
+    );
+}
+
+/// Claim 2: the energy-aware designs beat the 2-FeFET state of the art by
+/// ≈ 2× or more at the array level.
+#[test]
+fn energy_aware_designs_beat_fefet_baseline() {
+    let cache = cache();
+    let base = energy_per_bit(&cache, DesignKind::FeFet2T, 64, 16);
+    for kind in [
+        DesignKind::EaLowSwing,
+        DesignKind::EaMlSegmented,
+        DesignKind::EaFull,
+    ] {
+        let e = energy_per_bit(&cache, kind, 64, 16);
+        assert!(
+            e < 0.6 * base,
+            "{}: {:.3} fJ/bit vs baseline {:.3} fJ/bit",
+            kind.key(),
+            e * 1e15,
+            base * 1e15
+        );
+    }
+}
+
+/// Claim 3: absolute numbers land in the published fJ/bit/search regime
+/// (≈ 0.05–3 fJ/bit at 45 nm-class nodes).
+#[test]
+fn absolute_energy_is_in_the_published_regime() {
+    let cache = cache();
+    for kind in DesignKind::ALL {
+        let e = energy_per_bit(&cache, kind, 64, 16) * 1e15;
+        assert!(
+            (0.02..5.0).contains(&e),
+            "{}: {e:.3} fJ/bit/search out of regime",
+            kind.key()
+        );
+    }
+}
+
+/// Claim 4: FeFET density advantage — ≥ 5× smaller cell than 16T CMOS.
+#[test]
+fn fefet_cell_is_denser_than_cmos() {
+    let cmos = DesignKind::Cmos16T.instantiate().area_f2();
+    let fefet = DesignKind::FeFet2T.instantiate().area_f2();
+    assert!(
+        fefet * 5.0 < cmos,
+        "areas: fefet {fefet} F², cmos {cmos} F²"
+    );
+}
+
+/// Claim 5: the write path is non-volatile, fJ-scale and ns-scale.
+#[test]
+fn write_energy_and_latency_scale() {
+    let cache = cache();
+    let calib = cache.get(DesignKind::FeFet2T, 8).expect("calibration runs");
+    let e_bit = calib.e_write_per_bit.expect("NVM design") * 1e15;
+    assert!(
+        (1.0..200.0).contains(&e_bit),
+        "write energy {e_bit:.2} fJ/bit out of regime"
+    );
+}

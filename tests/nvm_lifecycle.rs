@@ -1,0 +1,98 @@
+//! Non-volatile lifecycle across the stack: transient write → search →
+//! rewrite → search, with state carried in the ferroelectric devices.
+
+use ftcam::cells::{DesignKind, RowTestbench, SearchTiming, WriteTiming};
+use ftcam::devices::TechCard;
+use ftcam::workloads::TernaryWord;
+
+fn testbench(kind: DesignKind, width: usize) -> RowTestbench {
+    RowTestbench::new(
+        kind.instantiate(),
+        TechCard::hp45(),
+        Default::default(),
+        width,
+    )
+    .expect("testbench builds")
+}
+
+#[test]
+fn write_search_rewrite_cycle() {
+    let timing = SearchTiming::fast();
+    let write = WriteTiming::default();
+    let mut row = testbench(DesignKind::FeFet2T, 4);
+
+    let word_a: TernaryWord = "10X1".parse().unwrap();
+    let out = row.write_word(&word_a, &write).unwrap();
+    assert!(out.programmed_ok);
+    assert!(
+        row.search(&"1011".parse().unwrap(), &timing)
+            .unwrap()
+            .matched
+    );
+    assert!(
+        !row.search(&"0011".parse().unwrap(), &timing)
+            .unwrap()
+            .matched
+    );
+
+    // Rewrite with a different word — the erase phase must clear word A.
+    let word_b: TernaryWord = "01X0".parse().unwrap();
+    let out = row.write_word(&word_b, &write).unwrap();
+    assert!(out.programmed_ok);
+    assert!(
+        row.search(&"0110".parse().unwrap(), &timing)
+            .unwrap()
+            .matched
+    );
+    assert!(
+        !row.search(&"1011".parse().unwrap(), &timing)
+            .unwrap()
+            .matched
+    );
+}
+
+#[test]
+fn searches_do_not_disturb_stored_state() {
+    let timing = SearchTiming::fast();
+    let mut row = testbench(DesignKind::FeFet2T, 4);
+    let word: TernaryWord = "1010".parse().unwrap();
+    row.write_word(&word, &WriteTiming::default()).unwrap();
+
+    // A hundred searches, alternating match/mismatch.
+    let hit: TernaryWord = "1010".parse().unwrap();
+    let miss: TernaryWord = "0101".parse().unwrap();
+    for _ in 0..50 {
+        assert!(row.search(&hit, &timing).unwrap().matched);
+        assert!(!row.search(&miss, &timing).unwrap().matched);
+    }
+}
+
+#[test]
+fn all_fefet_variants_support_the_lifecycle() {
+    let timing = SearchTiming::fast();
+    for kind in [
+        DesignKind::FeFet2T,
+        DesignKind::EaLowSwing,
+        DesignKind::EaSlGated,
+        DesignKind::EaFull,
+    ] {
+        let mut row = testbench(kind, 4);
+        let word: TernaryWord = "1X01".parse().unwrap();
+        let out = row.write_word(&word, &WriteTiming::default()).unwrap();
+        assert!(out.programmed_ok, "{}: write failed", kind.key());
+        assert!(
+            row.search(&"1101".parse().unwrap(), &timing)
+                .unwrap()
+                .matched,
+            "{}: match failed after write",
+            kind.key()
+        );
+        assert!(
+            !row.search(&"1110".parse().unwrap(), &timing)
+                .unwrap()
+                .matched,
+            "{}: mismatch failed after write",
+            kind.key()
+        );
+    }
+}
