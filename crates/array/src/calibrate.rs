@@ -2,11 +2,13 @@
 //! the array model scales.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use ftcam_cells::{CellError, DesignKind, Geometry, RowTestbench, SearchTiming};
 use ftcam_devices::TechCard;
 use ftcam_workloads::{Ternary, TernaryWord};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Per-stage (segment) energies for hierarchically evaluated designs.
@@ -227,16 +229,65 @@ fn build_stage_calibration(
         .collect()
 }
 
+/// Number of lock shards in [`CalibrationCache`]; a small power of two is
+/// plenty since there are at most designs × widths distinct keys.
+const CACHE_SHARDS: usize = 16;
+
+type Slot = Arc<OnceLock<Result<RowCalibration, CellError>>>;
+
+/// A point-in-time snapshot of [`CalibrationCache`] activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from an already-initialised slot.
+    pub hits: u64,
+    /// Lookups that found no initialised slot for their key.
+    pub misses: u64,
+    /// Misses that blocked on a calibration already in flight on another
+    /// thread instead of starting their own.
+    pub dedup_waits: u64,
+    /// Calibrations actually executed (exactly once per cold key).
+    pub calibrations: u64,
+    /// Wall-clock nanoseconds spent inside `calibrate_row`.
+    pub calibrate_nanos: u64,
+}
+
+impl CacheStats {
+    /// Counter-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            dedup_waits: self.dedup_waits - earlier.dedup_waits,
+            calibrations: self.calibrations - earlier.calibrations,
+            calibrate_nanos: self.calibrate_nanos - earlier.calibrate_nanos,
+        }
+    }
+}
+
 /// A concurrency-safe cache of row calibrations keyed by `(design, width)`.
 ///
 /// The card, geometry and timing are fixed at construction; calibrations
 /// are computed lazily on first access and shared afterwards.
+///
+/// Internally the key space is split across [`CACHE_SHARDS`] mutex-guarded
+/// shards so concurrent lookups of different keys rarely contend, and each
+/// key maps to an `Arc<OnceLock<..>>` slot so concurrent lookups of the
+/// *same* cold key block on one in-flight calibration instead of running
+/// it redundantly. Errors are cached too: a `(design, width)` pair that
+/// fails calibration fails identically on every later lookup without
+/// re-simulating.
 #[derive(Debug)]
 pub struct CalibrationCache {
     card: TechCard,
     geometry: Geometry,
     timing: SearchTiming,
-    cache: Mutex<HashMap<(DesignKind, usize), RowCalibration>>,
+    shards: [Mutex<HashMap<(DesignKind, usize), Slot>>; CACHE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dedup_waits: AtomicU64,
+    calibrations: AtomicU64,
+    calibrate_nanos: AtomicU64,
 }
 
 impl CalibrationCache {
@@ -246,7 +297,12 @@ impl CalibrationCache {
             card,
             geometry,
             timing,
-            cache: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dedup_waits: AtomicU64::new(0),
+            calibrations: AtomicU64::new(0),
+            calibrate_nanos: AtomicU64::new(0),
         }
     }
 
@@ -260,18 +316,65 @@ impl CalibrationCache {
         &self.timing
     }
 
+    /// A snapshot of the activity counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            calibrations: self.calibrations.load(Ordering::Relaxed),
+            calibrate_nanos: self.calibrate_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, key: &(DesignKind, usize)) -> &Mutex<HashMap<(DesignKind, usize), Slot>> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % CACHE_SHARDS]
+    }
+
     /// Returns (computing if necessary) the calibration for a design/width.
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures as [`CellError`].
+    /// Propagates simulation failures as [`CellError`]. Failures are
+    /// cached, so repeated lookups of a failing key return the original
+    /// error without re-running the simulation.
     pub fn get(&self, kind: DesignKind, width: usize) -> Result<RowCalibration, CellError> {
-        if let Some(hit) = self.cache.lock().get(&(kind, width)) {
-            return Ok(hit.clone());
+        let key = (kind, width);
+        let (slot, owner) = {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            match shard.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    shard.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        // The shard lock is already released: a long calibration never
+        // blocks lookups of other keys, only of this slot.
+        if let Some(done) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return done.clone();
         }
-        let calib = calibrate_row(kind, &self.card, &self.geometry, &self.timing, width)?;
-        self.cache.lock().insert((kind, width), calib.clone());
-        Ok(calib)
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if !owner {
+            self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.get_or_init(|| {
+            // `get_or_init` guarantees exactly one closure run per slot;
+            // every other thread blocks here until it finishes.
+            self.calibrations.fetch_add(1, Ordering::Relaxed);
+            let started = Instant::now();
+            let result = calibrate_row(kind, &self.card, &self.geometry, &self.timing, width);
+            self.calibrate_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            result
+        })
+        .clone()
     }
 }
 
@@ -339,5 +442,55 @@ mod tests {
         let a = cache.get(DesignKind::FeFet2T, 4).unwrap();
         let b = cache.get(DesignKind::FeFet2T, 4).unwrap();
         assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.calibrations, 1);
+        assert_eq!(stats.dedup_waits, 0);
+        assert!(stats.calibrate_nanos > 0);
+    }
+
+    #[test]
+    fn concurrent_cold_key_calibrates_exactly_once() {
+        // The in-flight dedup contract: N threads racing on one cold key
+        // must run ONE calibration; everyone else blocks on that slot.
+        const THREADS: usize = 8;
+        let cache =
+            CalibrationCache::new(TechCard::hp45(), Geometry::default(), SearchTiming::fast());
+        let barrier = std::sync::Barrier::new(THREADS);
+        let results: Vec<RowCalibration> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache.get(DesignKind::FeFet2T, 4).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.calibrations, 1, "exactly one calibration ran");
+        assert_eq!(stats.hits + stats.misses, THREADS as u64);
+        // Every thread that missed beyond the slot owner waited on the
+        // in-flight calibration instead of starting its own.
+        assert_eq!(stats.dedup_waits, stats.misses - 1);
+    }
+
+    #[test]
+    fn failed_calibrations_are_cached_and_counted_once() {
+        // Width 0 fails in calibrate_row; the error must be cached like a
+        // success (one calibration, later lookups are hits).
+        let cache =
+            CalibrationCache::new(TechCard::hp45(), Geometry::default(), SearchTiming::fast());
+        let first = cache.get(DesignKind::FeFet2T, 0).unwrap_err();
+        let second = cache.get(DesignKind::FeFet2T, 0).unwrap_err();
+        assert_eq!(format!("{first}"), format!("{second}"));
+        let stats = cache.stats();
+        assert_eq!(stats.calibrations, 1);
+        assert_eq!(stats.hits, 1);
     }
 }

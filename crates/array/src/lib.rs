@@ -44,7 +44,9 @@ mod periph;
 mod standby;
 
 pub use array::{ArrayModel, ArrayParams};
-pub use calibrate::{calibrate_row, CalibrationCache, RowCalibration, StageCalibration};
+pub use calibrate::{
+    calibrate_row, CacheStats, CalibrationCache, RowCalibration, StageCalibration,
+};
 pub use montecarlo::{run_variation_mc, McResult, VariationParams};
 pub use periph::PeripheralModel;
 pub use standby::{Retention, StandbyProfile};

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ftcam_cells::{DesignKind, RowTestbench, SearchTiming};
+use ftcam_core::Executor;
 use ftcam_devices::TechCard;
 use ftcam_workloads::{IpRoutingWorkload, IpRoutingWorkloadParams, TernaryWord};
 
@@ -56,5 +57,43 @@ fn bench_golden_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_row_search, bench_golden_model);
+fn bench_executor_fanout(c: &mut Criterion) {
+    // The executor over a realistic job: one transistor-level search per
+    // item, 24 items (≈ a designs×widths sweep). Compares the serial path
+    // against scoped-thread fan-out to show the engine's speedup and its
+    // per-job overhead floor.
+    let stored: TernaryWord = "1011011010110110".parse().expect("valid word");
+    let miss = stored.with_spread_mismatches(4);
+    let timing = SearchTiming::default();
+    let items: Vec<usize> = (0..24).collect();
+    let mut group = c.benchmark_group("executor_fanout_24_searches");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        let exec = Executor::new(threads);
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                exec.run(&items, |_, _| {
+                    let mut row = RowTestbench::new(
+                        DesignKind::FeFet2T.instantiate(),
+                        TechCard::hp45(),
+                        Default::default(),
+                        16,
+                    )
+                    .expect("testbench builds");
+                    row.program_word(&stored).expect("programs");
+                    row.search(&miss, &timing)
+                })
+                .expect("searches run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_row_search,
+    bench_golden_model,
+    bench_executor_fanout
+);
 criterion_main!(benches);

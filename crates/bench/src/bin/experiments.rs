@@ -2,13 +2,16 @@
 //! (reconstructed) evaluation and prints/serialises them.
 //!
 //! ```text
-//! experiments [--full] [--out DIR] [ID ...]
+//! experiments [--full] [--threads N] [--out DIR] [ID ...]
 //!
-//!   --full      paper-scale presets (slow; use a release build)
-//!   --out DIR   artefact directory (default target/experiments)
-//!   ID          experiment ids (default: all)
-//!               fig2 fig3 table1 fig4 fig5 fig6 fig7 fig8 table2 fig9
-//!               fig10 table3
+//!   --full       paper-scale presets (slow; use a release build)
+//!   --threads N  worker threads for sweep execution (default: one per
+//!                core; 1 forces the serial path — output is identical
+//!                for any N)
+//!   --out DIR    artefact directory (default target/experiments)
+//!   ID           experiment ids (default: all)
+//!                fig2 fig3 table1 fig4 fig5 fig6 fig7 fig8 table2 fig9
+//!                fig10 table3
 //! ```
 
 use std::path::PathBuf;
@@ -20,12 +23,20 @@ use ftcam_core::{experiments, plot_figure, Artifact, Evaluator};
 
 fn main() -> ExitCode {
     let mut full = false;
+    let mut threads: Option<usize> = None;
     let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--threads" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -35,7 +46,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--full] [--out DIR] [ID ...]\nids: {}",
+                    "usage: experiments [--full] [--threads N] [--out DIR] [ID ...]\nids: {}",
                     experiments::ALL_IDS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -51,10 +62,14 @@ fn main() -> ExitCode {
         ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
 
-    let eval = Evaluator::standard();
+    let mut eval = Evaluator::standard();
+    if let Some(n) = threads {
+        eval = eval.with_threads(n);
+    }
     println!(
-        "# ftcam experiments ({} preset) — {} experiment(s)\n",
+        "# ftcam experiments ({} preset, {} thread(s)) — {} experiment(s)\n",
         if full { "full" } else { "quick" },
+        eval.threads(),
         ids.len()
     );
     let mut failed = false;
@@ -65,6 +80,19 @@ fn main() -> ExitCode {
                 println!("{}", artifact.to_markdown());
                 if let Artifact::Figure(fig) = &artifact {
                     println!("{}", plot_figure(fig, 64, 14));
+                }
+                if let Some(s) = artifact.exec() {
+                    println!(
+                        "_exec: {} job(s) on {} thread(s); cache {} hit(s) / {} miss(es) / \
+                         {} dedup wait(s), {} calibration(s) taking {:.1} ms_",
+                        s.jobs,
+                        s.threads,
+                        s.cache.hits,
+                        s.cache.misses,
+                        s.cache.dedup_waits,
+                        s.cache.calibrations,
+                        s.cache.calibrate_nanos as f64 / 1e6,
+                    );
                 }
                 match save_artifact(&out_dir, &artifact) {
                     Ok(path) => println!(

@@ -170,9 +170,8 @@ impl ArrayTestbench {
                         format!("m_footer_r{r}_{chunk_start}"),
                         Mosfet::new(footer, rail, en, ckt.ground()),
                     );
-                    for col in chunk_start..(chunk_start + group).min(width) {
-                        source_rail[col] = rail;
-                    }
+                    let chunk_end = (chunk_start + group).min(width);
+                    source_rail[chunk_start..chunk_end].fill(rail);
                 }
             }
 

@@ -292,7 +292,7 @@ impl McamRow {
 /// A binary word interpreted as base-2^bits digits, MSB first (helper for
 /// capacity comparisons against plain TCAM rows).
 pub fn pack_word(word: &TernaryWord, bits: u32) -> Option<Vec<usize>> {
-    if word.width() % bits as usize != 0 {
+    if !word.width().is_multiple_of(bits as usize) {
         return None;
     }
     let mut out = Vec::with_capacity(word.width() / bits as usize);

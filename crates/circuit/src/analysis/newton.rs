@@ -118,8 +118,8 @@ pub(crate) fn solve(
         // for linear systems the undamped solve is exact.
         let scale = if circuit.has_nonlinear_devices() {
             let mut max_dv: f64 = 0.0;
-            for col in 0..vars.n_free {
-                max_dv = max_dv.max((ws.x_new[col] - x[col]).abs());
+            for (new, old) in ws.x_new.iter().zip(x.iter()).take(vars.n_free) {
+                max_dv = max_dv.max((new - old).abs());
             }
             if max_dv > settings.max_voltage_step {
                 settings.max_voltage_step / max_dv

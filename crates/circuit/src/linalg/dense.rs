@@ -87,9 +87,9 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for row in 0..self.n {
+        for (row, y_row) in y.iter_mut().enumerate() {
             let r = &self.data[row * self.n..(row + 1) * self.n];
-            y[row] = r.iter().zip(x).map(|(a, b)| a * b).sum();
+            *y_row = r.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -154,8 +154,8 @@ impl DenseMatrix {
         // Back substitution.
         for row in (0..n).rev() {
             let mut acc = b[row];
-            for col in (row + 1)..n {
-                acc -= self.get(row, col) * b[col];
+            for (col, &b_col) in b.iter().enumerate().skip(row + 1) {
+                acc -= self.get(row, col) * b_col;
             }
             b[row] = acc / self.get(row, row);
         }

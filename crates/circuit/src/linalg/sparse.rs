@@ -165,9 +165,9 @@ impl SparseMatrix {
         // Boolean workspace + sorted-merge scratch.
         let mut mark = vec![false; n];
         let mut pattern: Vec<u32> = Vec::new();
-        for i in 0..n {
+        for (i, row_cols) in rows.iter().enumerate() {
             pattern.clear();
-            for &c in &rows[i] {
+            for &c in row_cols {
                 if !mark[c as usize] {
                     mark[c as usize] = true;
                     pattern.push(c);

@@ -1,21 +1,29 @@
 //! The [`Evaluator`]: shared configuration + calibration cache.
 
+use std::sync::Arc;
+
 use ftcam_array::CalibrationCache;
 use ftcam_cells::{CellDesign, CellError, DesignKind, Geometry, RowTestbench, SearchTiming};
 use ftcam_devices::TechCard;
 
+use crate::exec::{ExecCounters, Executor};
+
 /// Shared context for all experiments: technology card, layout constants,
-/// search clocking and a calibration cache.
+/// search clocking, a calibration cache and the parallel sweep executor.
 ///
 /// Two presets exist: [`Evaluator::standard`] uses the clocking the paper
 /// reports; [`Evaluator::quick`] uses a coarser step for unit tests and
-/// smoke runs.
+/// smoke runs. Both default to one worker thread per available core; use
+/// [`Evaluator::with_threads`] to pin the count (1 forces the serial
+/// path). Artifacts are identical for any thread count.
 #[derive(Debug)]
 pub struct Evaluator {
     card: TechCard,
     geometry: Geometry,
     timing: SearchTiming,
     cache: CalibrationCache,
+    threads: usize,
+    exec_counters: Arc<ExecCounters>,
 }
 
 impl Evaluator {
@@ -27,7 +35,18 @@ impl Evaluator {
             geometry,
             timing,
             cache,
+            threads: default_threads(),
+            exec_counters: Arc::new(ExecCounters::new()),
         }
+    }
+
+    /// Sets the worker-thread count for sweep execution (builder style).
+    ///
+    /// `1` forces the serial path; `0` is treated as `1`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The evaluation-default configuration (hp45 card, default clocking).
@@ -64,6 +83,23 @@ impl Evaluator {
         &self.cache
     }
 
+    /// The configured worker-thread count for sweep execution.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared executor counters (accumulated across all experiments
+    /// run through this evaluator).
+    pub fn exec_counters(&self) -> &Arc<ExecCounters> {
+        &self.exec_counters
+    }
+
+    /// A sweep executor bound to this evaluator's thread count and
+    /// counters. Cheap to call; drivers request one per sweep.
+    pub fn executor(&self) -> Executor {
+        Executor::with_counters(self.threads, Arc::clone(&self.exec_counters))
+    }
+
     /// Builds a row testbench for a standard design.
     ///
     /// # Errors
@@ -93,6 +129,12 @@ impl Evaluator {
     }
 }
 
+/// One worker per available core, falling back to 1 when the parallelism
+/// query fails (e.g. restricted sandboxes).
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +154,26 @@ mod tests {
             let tb = eval.testbench(kind, 4).unwrap();
             assert_eq!(tb.width(), 4);
         }
+    }
+
+    #[test]
+    fn with_threads_pins_executor_width_and_floors_at_one() {
+        let eval = Evaluator::quick().with_threads(3);
+        assert_eq!(eval.threads(), 3);
+        assert_eq!(eval.executor().threads(), 3);
+        assert_eq!(Evaluator::quick().with_threads(0).threads(), 1);
+        assert!(Evaluator::quick().threads() >= 1);
+    }
+
+    #[test]
+    fn executors_share_the_evaluator_counters() {
+        let eval = Evaluator::quick().with_threads(2);
+        eval.executor()
+            .run(&[1u32, 2, 3], |_, &x| Ok::<_, ()>(x))
+            .unwrap();
+        eval.executor()
+            .run(&[4u32], |_, &x| Ok::<_, ()>(x))
+            .unwrap();
+        assert_eq!(eval.exec_counters().snapshot().jobs, 4);
     }
 }

@@ -1,0 +1,274 @@
+//! Parallel sweep execution engine.
+//!
+//! Every experiment driver decomposes its sweep into independent jobs —
+//! one per `(design, width, point)` tuple or similar — and hands them to
+//! an [`Executor`], which fans them out over a crossbeam scoped-thread
+//! work queue and reassembles the results **in item order**. Because each
+//! job is a pure function of its input and assembly order is fixed,
+//! artifacts are bit-identical regardless of the thread count; only the
+//! wall-clock changes.
+//!
+//! The executor also meters itself: jobs run and nanoseconds spent in the
+//! fan-out and assembly phases accumulate in shared [`ExecCounters`], and
+//! `run_by_id` snapshots them (together with the calibration-cache
+//! counters) into an [`ExecStats`] attached to each emitted artifact.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use ftcam_array::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Shared accumulating counters for one [`Executor`] (usually owned by the
+/// `Evaluator` and shared by every executor it hands out).
+#[derive(Debug, Default)]
+pub struct ExecCounters {
+    jobs: AtomicU64,
+    run_nanos: AtomicU64,
+    assemble_nanos: AtomicU64,
+}
+
+impl ExecCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time snapshot `(jobs, run_nanos, assemble_nanos)`.
+    pub fn snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            run_nanos: self.run_nanos.load(Ordering::Relaxed),
+            assemble_nanos: self.assemble_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`ExecCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecSnapshot {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Wall-clock nanoseconds spent in the fan-out phase (serial path
+    /// included).
+    pub run_nanos: u64,
+    /// Wall-clock nanoseconds spent assembling results in item order.
+    pub assemble_nanos: u64,
+}
+
+impl ExecSnapshot {
+    /// Counter-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &ExecSnapshot) -> ExecSnapshot {
+        ExecSnapshot {
+            jobs: self.jobs - earlier.jobs,
+            run_nanos: self.run_nanos - earlier.run_nanos,
+            assemble_nanos: self.assemble_nanos - earlier.assemble_nanos,
+        }
+    }
+}
+
+/// Per-run execution statistics attached to emitted artifacts.
+///
+/// `threads`, `jobs`, `cache.calibrations` and the artifact payload are
+/// deterministic for a given experiment; the timing fields and the cache
+/// hit/miss/dedup split depend on scheduling, so consumers comparing runs
+/// (e.g. the thread-invariance test) must strip this struct first.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Worker threads the executor was configured with.
+    pub threads: usize,
+    /// Jobs executed for this artifact.
+    pub jobs: u64,
+    /// Wall-clock nanoseconds inside `Executor::run` fan-out.
+    pub run_nanos: u64,
+    /// Wall-clock nanoseconds assembling results in item order.
+    pub assemble_nanos: u64,
+    /// Calibration-cache activity during the run.
+    pub cache: CacheStats,
+    /// Total wall-clock nanoseconds for the experiment.
+    pub wall_nanos: u64,
+}
+
+/// Fans independent jobs out over scoped worker threads and reassembles
+/// results in deterministic item order.
+///
+/// With `threads <= 1` (or a single item) jobs run inline on the calling
+/// thread — the serial path the invariance tests compare against.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+    counters: Arc<ExecCounters>,
+}
+
+impl Executor {
+    /// Creates an executor with private counters.
+    pub fn new(threads: usize) -> Self {
+        Self::with_counters(threads, Arc::new(ExecCounters::new()))
+    }
+
+    /// Creates an executor accumulating into shared counters.
+    pub fn with_counters(threads: usize, counters: Arc<ExecCounters>) -> Self {
+        Self { threads, counters }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The counters this executor accumulates into.
+    pub fn counters(&self) -> &Arc<ExecCounters> {
+        &self.counters
+    }
+
+    /// Runs `job(i, &items[i])` for every item and returns the results in
+    /// item order.
+    ///
+    /// Work is distributed over `min(threads, items.len())` scoped threads
+    /// via an atomic claim counter; each result lands in a per-item slot,
+    /// so assembly order — and therefore the output — is independent of
+    /// which thread ran which job. Every job runs even if an earlier one
+    /// failed (no early cancellation), keeping cache warm-up deterministic.
+    ///
+    /// # Errors
+    ///
+    /// If any job fails, returns the error of the **lowest-indexed**
+    /// failing item — the same error a serial run would hit first.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from a worker thread.
+    pub fn run<T, R, E, F>(&self, items: &[T], job: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send + Sync,
+        E: Send + Sync,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let started = Instant::now();
+        let workers = self.threads.clamp(1, n);
+        let slots: Vec<OnceLock<Result<R, E>>> = (0..n).map(|_| OnceLock::new()).collect();
+        if workers == 1 {
+            for (i, item) in items.iter().enumerate() {
+                let filled = slots[i].set(job(i, item)).is_ok();
+                debug_assert!(filled, "slot {i} filled twice");
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (next, slots_ref, job_ref) = (&next, &slots, &job);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(move |_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let filled = slots_ref[i].set(job_ref(i, &items[i])).is_ok();
+                        debug_assert!(filled, "slot {i} filled twice");
+                    });
+                }
+            })
+            .expect("executor worker panicked");
+        }
+        self.counters.jobs.fetch_add(n as u64, Ordering::Relaxed);
+        self.counters
+            .run_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        let assemble_started = Instant::now();
+        let mut out = Vec::with_capacity(n);
+        let mut first_err: Option<E> = None;
+        for slot in slots {
+            let result = slot.into_inner().expect("every claimed slot is filled");
+            match result {
+                Ok(r) => out.push(r),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        self.counters.assemble_nanos.fetch_add(
+            assemble_started.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let exec = Executor::new(4);
+        let out: Result<Vec<i32>, ()> = exec.run(&[], |_, _: &i32| unreachable!());
+        assert_eq!(out.unwrap(), Vec::<i32>::new());
+        assert_eq!(exec.counters().snapshot().jobs, 0);
+    }
+
+    #[test]
+    fn results_arrive_in_item_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 4, 8, 16] {
+            let exec = Executor::new(threads);
+            let out: Vec<usize> = exec
+                .run(&items, |i, &x| {
+                    assert_eq!(i, x);
+                    Ok::<_, ()>(x * x)
+                })
+                .unwrap();
+            let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn first_error_in_item_order_wins_and_all_jobs_run() {
+        let items: Vec<usize> = (0..64).collect();
+        let ran = AtomicUsize::new(0);
+        let exec = Executor::new(8);
+        let out = exec.run(&items, |_, &x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            // Items 7 and 21 fail; the serial-first error (7) must win.
+            if x == 7 || x == 21 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(out.unwrap_err(), 7);
+        assert_eq!(ran.load(Ordering::Relaxed), 64, "no early cancellation");
+    }
+
+    #[test]
+    fn counters_accumulate_across_runs() {
+        let counters = Arc::new(ExecCounters::new());
+        let exec = Executor::with_counters(3, Arc::clone(&counters));
+        let before = counters.snapshot();
+        exec.run(&[1, 2, 3], |_, &x| Ok::<_, ()>(x)).unwrap();
+        exec.run(&[1, 2], |_, &x| Ok::<_, ()>(x)).unwrap();
+        let delta = counters.snapshot().since(&before);
+        assert_eq!(delta.jobs, 5);
+    }
+
+    #[test]
+    fn oversubscribed_executor_clamps_workers_to_items() {
+        // More threads than items must still run every job exactly once.
+        let exec = Executor::new(32);
+        let out: Vec<i64> = exec.run(&[10i64, 20], |_, &x| Ok::<_, ()>(-x)).unwrap();
+        assert_eq!(out, vec![-10, -20]);
+    }
+}

@@ -78,17 +78,23 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         vth: fe.vth_high(),
         ..fe.mosfet.clone()
     };
-    let id_curve = |card: &MosfetParams| -> Vec<f64> {
-        up.iter()
-            .map(|&vg| {
-                let (i, _, _) = Mosfet::channel_currents(card, vg, params.v_ds_read);
-                i.max(1e-18).log10()
-            })
-            .collect()
-    };
-
-    let id_low = id_curve(&low);
-    let id_high = id_curve(&high);
+    // The two programmed-state curves are independent: one executor job
+    // each (the P-loop above is stateful and stays serial).
+    let mut curves = eval
+        .executor()
+        .run(&[low, high], |_, card| {
+            Ok::<_, CellError>(
+                up.iter()
+                    .map(|&vg| {
+                        let (i, _, _) = Mosfet::channel_currents(card, vg, params.v_ds_read);
+                        i.max(1e-18).log10()
+                    })
+                    .collect::<Vec<f64>>(),
+            )
+        })?
+        .into_iter();
+    let id_low = curves.next().expect("two curves");
+    let id_high = curves.next().expect("two curves");
     let mut fig = Figure::new(
         "fig2",
         "FeFET characteristics: quasi-static P–V loop and programmed-state I_D–V_G",

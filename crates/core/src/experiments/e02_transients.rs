@@ -103,9 +103,12 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         "ML voltage (V)",
         grid.clone(),
     );
-    for &kind in &params.designs {
+    // One job per design; the three scenarios share the design's
+    // programmed testbench and stay serial within the job.
+    let per_design = eval.executor().run(&params.designs, |_, &kind| {
         let mut row = eval.testbench(kind, params.width)?;
         row.program_word(&stored)?;
+        let mut out = Vec::with_capacity(scenarios.len());
         for (name, query) in &scenarios {
             let (outcome, traces) = row.search_traced(query, &timing)?;
             let trace = traces.last().expect("at least one stage");
@@ -113,9 +116,15 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
                 .iter()
                 .map(|&t| resample(&trace.times, &trace.volts, t))
                 .collect();
+            out.push((*name, y, outcome.matched));
+        }
+        Ok::<_, CellError>(out)
+    })?;
+    for (&kind, series) in params.designs.iter().zip(per_design) {
+        for (name, y, matched) in series {
             fig.push_series(format!("{} / {name}", kind.key()), y);
             // Record the decision in the notes for cross-checking.
-            if *name == "match" && !outcome.matched {
+            if name == "match" && !matched {
                 fig.note(format!("WARNING: {} match decided as mismatch", kind.key()));
             }
         }

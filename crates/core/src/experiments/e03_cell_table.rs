@@ -54,23 +54,24 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             "E write/bit (fJ)".into(),
         ],
     );
-    for &kind in &params.designs {
+    // One calibration job per design; rows assemble in design order.
+    let rows = eval.executor().run(&params.designs, |_, &kind| {
         let calib = eval.calibrations().get(kind, params.width)?;
         let design = kind.instantiate();
         let typical = row_energy_with_sl(&calib, params.width / 2, DEFAULT_SL_TOGGLE_ACTIVITY);
-        table.push(
-            kind.key(),
-            vec![
-                design.device_count().total(),
-                eval.geometry().cell_area_um2(design.area_f2()),
-                calib.t_match.max(calib.t_mismatch_1) * 1e9,
-                row_energy_with_sl(&calib, 0, DEFAULT_SL_TOGGLE_ACTIVITY) * 1e15,
-                row_energy_with_sl(&calib, 1, DEFAULT_SL_TOGGLE_ACTIVITY) * 1e15,
-                typical / params.width as f64 * 1e15,
-                calib.margin_match.min(calib.margin_mismatch_1) * 1e3,
-                calib.e_write_per_bit.unwrap_or(0.0) * 1e15,
-            ],
-        );
+        Ok::<_, CellError>(vec![
+            design.device_count().total(),
+            eval.geometry().cell_area_um2(design.area_f2()),
+            calib.t_match.max(calib.t_mismatch_1) * 1e9,
+            row_energy_with_sl(&calib, 0, DEFAULT_SL_TOGGLE_ACTIVITY) * 1e15,
+            row_energy_with_sl(&calib, 1, DEFAULT_SL_TOGGLE_ACTIVITY) * 1e15,
+            typical / params.width as f64 * 1e15,
+            calib.margin_match.min(calib.margin_mismatch_1) * 1e3,
+            calib.e_write_per_bit.unwrap_or(0.0) * 1e15,
+        ])
+    })?;
+    for (&kind, values) in params.designs.iter().zip(rows) {
+        table.push(kind.key(), values);
     }
     table.note(
         "E/bit/search uses a half-width mismatch (typical non-matching row); \

@@ -48,23 +48,36 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         "search energy (fJ/bit/search)",
         x,
     );
+    // One job per (design, width) point; a `None` cell marks a point
+    // outside the design's operating envelope.
+    let points: Vec<(DesignKind, usize)> = params
+        .designs
+        .iter()
+        .flat_map(|&kind| params.widths.iter().map(move |&w| (kind, w)))
+        .collect();
+    let cells = eval.executor().run(&points, |_, &(kind, w)| {
+        match eval.calibrations().get(kind, w) {
+            Ok(calib) => {
+                let e = row_energy_with_sl(&calib, w / 2, DEFAULT_SL_TOGGLE_ACTIVITY);
+                Ok(Some(e / w as f64 * 1e15))
+            }
+            // A design can fall out of its operating envelope at wide
+            // words (ratio-sensed baselines do); record the gap rather
+            // than fake a number.
+            Err(CellError::CalibrationDecisionError { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    })?;
     let mut skipped: Vec<String> = Vec::new();
-    for &kind in &params.designs {
+    for (di, &kind) in params.designs.iter().enumerate() {
         let mut y = Vec::with_capacity(params.widths.len());
-        for &w in &params.widths {
-            match eval.calibrations().get(kind, w) {
-                Ok(calib) => {
-                    let e = row_energy_with_sl(&calib, w / 2, DEFAULT_SL_TOGGLE_ACTIVITY);
-                    y.push(e / w as f64 * 1e15);
-                }
-                // A design can fall out of its operating envelope at wide
-                // words (ratio-sensed baselines do); record the gap rather
-                // than fake a number.
-                Err(CellError::CalibrationDecisionError { .. }) => {
+        for (wi, &w) in params.widths.iter().enumerate() {
+            match cells[di * params.widths.len() + wi] {
+                Some(v) => y.push(v),
+                None => {
                     skipped.push(format!("{} @ {w}", kind.key()));
                     y.push(f64::NAN);
                 }
-                Err(e) => return Err(e),
             }
         }
         fig.push_series(kind.key(), y);

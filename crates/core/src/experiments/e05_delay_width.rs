@@ -47,26 +47,39 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         "detection latency (ns)",
         x,
     );
+    // One job per (design, width) point; `None` marks a point outside
+    // the design's operating envelope.
+    let points: Vec<(DesignKind, usize)> = params
+        .designs
+        .iter()
+        .flat_map(|&kind| params.widths.iter().map(move |&w| (kind, w)))
+        .collect();
+    let cells = eval.executor().run(&points, |_, &(kind, w)| {
+        match eval.calibrations().get(kind, w) {
+            // The width-dependent quantity: one cell must discharge a
+            // match line whose capacitance grows linearly with the word
+            // width. (The clocked full-match sense is width-independent;
+            // second value for reference.)
+            Ok(calib) => Ok(Some((calib.t_mismatch_1 * 1e9, calib.t_match * 1e9))),
+            Err(CellError::CalibrationDecisionError { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    })?;
     let mut skipped: Vec<String> = Vec::new();
-    for &kind in &params.designs {
+    for (di, &kind) in params.designs.iter().enumerate() {
         let mut y = Vec::with_capacity(params.widths.len());
         let mut y_clock = Vec::with_capacity(params.widths.len());
-        for &w in &params.widths {
-            match eval.calibrations().get(kind, w) {
-                Ok(calib) => {
-                    // The width-dependent quantity: one cell must discharge
-                    // a match line whose capacitance grows linearly with
-                    // the word width. (The clocked full-match sense is
-                    // width-independent; second series for reference.)
-                    y.push(calib.t_mismatch_1 * 1e9);
-                    y_clock.push(calib.t_match * 1e9);
+        for (wi, &w) in params.widths.iter().enumerate() {
+            match cells[di * params.widths.len() + wi] {
+                Some((t_miss, t_match)) => {
+                    y.push(t_miss);
+                    y_clock.push(t_match);
                 }
-                Err(CellError::CalibrationDecisionError { .. }) => {
+                None => {
                     skipped.push(format!("{} @ {w}", kind.key()));
                     y.push(f64::NAN);
                     y_clock.push(f64::NAN);
                 }
-                Err(e) => return Err(e),
             }
         }
         fig.push_series(kind.key(), y);

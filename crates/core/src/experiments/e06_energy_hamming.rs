@@ -74,7 +74,9 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         x,
     );
     let timing = eval.timing().clone();
-    for &kind in &params.designs {
+    // One job per design; the k sweep shares the design's programmed
+    // testbench and stays serial within the job.
+    let per_design = eval.executor().run(&params.designs, |_, &kind| {
         let mut row = eval.testbench(kind, params.width)?;
         row.program_word(&stored)?;
         let mut y = Vec::with_capacity(params.mismatch_counts.len());
@@ -83,6 +85,9 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             let outcome = row.search(&query, &timing)?;
             y.push(outcome.energy_total * 1e15);
         }
+        Ok::<_, CellError>(y)
+    })?;
+    for (&kind, y) in params.designs.iter().zip(per_design) {
         fig.push_series(kind.key(), y);
     }
     fig.note(

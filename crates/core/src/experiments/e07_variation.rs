@@ -18,7 +18,12 @@ pub struct Params {
     pub samples: usize,
     /// FeFET designs to include (volatile designs have no V_th knob here).
     pub designs: Vec<DesignKind>,
-    /// Worker threads.
+    /// Worker threads for the *inner* Monte-Carlo loop of each point.
+    ///
+    /// The evaluator's executor already fans the `(design, σ)` points out
+    /// across cores, so this defaults to 1; raising it nests parallelism
+    /// (the MC result is deterministic either way — samples are assembled
+    /// by index).
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -35,7 +40,7 @@ impl Default for Params {
                 DesignKind::EaLowSwing,
                 DesignKind::EaFull,
             ],
-            threads: 4,
+            threads: 1,
             seed: 0x7a11,
         }
     }
@@ -48,7 +53,6 @@ impl Params {
             sigmas: vec![0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
             width: 32,
             samples: 200,
-            threads: 8,
             ..Self::default()
         }
     }
@@ -67,26 +71,33 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         "failure rate (–) / margin (V)",
         params.sigmas.clone(),
     );
-    for &kind in &params.designs {
-        let mut fail = Vec::with_capacity(params.sigmas.len());
-        let mut margin = Vec::with_capacity(params.sigmas.len());
-        for &sigma in &params.sigmas {
-            let mc = run_variation_mc(
-                kind,
-                eval.card(),
-                eval.geometry(),
-                eval.timing(),
-                params.width,
-                &VariationParams {
-                    sigma_vth: sigma,
-                    samples: params.samples,
-                    seed: params.seed,
-                    threads: params.threads,
-                },
-            )?;
-            fail.push(mc.failure_rate());
-            margin.push(mc.mean_worst_margin());
-        }
+    // One job per (design, σ) point — each MC run is seeded per point and
+    // independent of its neighbours.
+    let points: Vec<(DesignKind, f64)> = params
+        .designs
+        .iter()
+        .flat_map(|&kind| params.sigmas.iter().map(move |&sigma| (kind, sigma)))
+        .collect();
+    let stats = eval.executor().run(&points, |_, &(kind, sigma)| {
+        let mc = run_variation_mc(
+            kind,
+            eval.card(),
+            eval.geometry(),
+            eval.timing(),
+            params.width,
+            &VariationParams {
+                sigma_vth: sigma,
+                samples: params.samples,
+                seed: params.seed,
+                threads: params.threads,
+            },
+        )?;
+        Ok::<_, CellError>((mc.failure_rate(), mc.mean_worst_margin()))
+    })?;
+    for (di, &kind) in params.designs.iter().enumerate() {
+        let per_sigma = &stats[di * params.sigmas.len()..(di + 1) * params.sigmas.len()];
+        let fail = per_sigma.iter().map(|&(f, _)| f).collect();
+        let margin = per_sigma.iter().map(|&(_, m)| m).collect();
         fig.push_series(format!("{} failure rate", kind.key()), fail);
         fig.push_series(format!("{} worst margin (V)", kind.key()), margin);
     }

@@ -53,22 +53,23 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
     let miss = stored.with_spread_mismatches(1);
     let timing = eval.timing().clone();
 
-    let mut e_fj = Vec::with_capacity(params.alphas.len());
-    let mut d_ns = Vec::with_capacity(params.alphas.len());
-    let mut m_v = Vec::with_capacity(params.alphas.len());
-    let mut edp = Vec::with_capacity(params.alphas.len());
-    for &alpha in &params.alphas {
+    // One job per α point — each point builds its own testbench.
+    let points = eval.executor().run(&params.alphas, |_, &alpha| {
         let mut row = eval.testbench_with(Box::new(EaLowSwing::new(alpha)), params.width)?;
         row.program_word(&stored)?;
         let hit = row.search(&stored, &timing)?;
         let missr = row.search(&miss, &timing)?;
         let energy = 0.5 * (hit.energy_total + missr.energy_total);
         let delay = hit.latency.max(missr.latency);
-        e_fj.push(energy * 1e15);
-        d_ns.push(delay * 1e9);
-        m_v.push(hit.sense_margin.min(missr.sense_margin));
-        edp.push(energy * delay * 1e24); // fJ·ns
-    }
+        Ok::<_, CellError>([
+            energy * 1e15,
+            delay * 1e9,
+            hit.sense_margin.min(missr.sense_margin),
+            energy * delay * 1e24, // fJ·ns
+        ])
+    })?;
+    let column = |i: usize| points.iter().map(|p| p[i]).collect::<Vec<f64>>();
+    let (e_fj, d_ns, m_v, edp) = (column(0), column(1), column(2), column(3));
 
     let mut fig = Figure::new(
         "fig8",

@@ -54,31 +54,40 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             "write E/word (fJ)".into(),
         ],
     );
+    // One job per (shape, design) pair; `None` marks a pair outside the
+    // design's operating envelope (its row is omitted, noted below).
+    let pairs: Vec<((usize, usize), DesignKind)> = params
+        .shapes
+        .iter()
+        .flat_map(|&shape| params.designs.iter().map(move |&kind| (shape, kind)))
+        .collect();
+    let projections = eval.executor().run(&pairs, |_, &((rows, width), kind)| {
+        let label = format!("{} {}x{}", kind.key(), rows, width);
+        let calib = match eval.calibrations().get(kind, width) {
+            Ok(c) => c,
+            Err(CellError::CalibrationDecisionError { .. }) => return Ok(Err(label)),
+            Err(e) => return Err(e),
+        };
+        let model = ArrayModel::new(ArrayParams::new(kind, rows, width), calib);
+        let design = kind.instantiate();
+        Ok::<_, CellError>(Ok((
+            label,
+            vec![
+                rows as f64,
+                width as f64,
+                model.typical_search_energy() * 1e12,
+                model.typical_energy_per_bit() * 1e15,
+                model.search_delay() * 1e9,
+                model.area_mm2(eval.geometry(), design.area_f2()),
+                model.write_energy_word().unwrap_or(0.0) * 1e15,
+            ],
+        )))
+    })?;
     let mut skipped: Vec<String> = Vec::new();
-    for &(rows, width) in &params.shapes {
-        for &kind in &params.designs {
-            let calib = match eval.calibrations().get(kind, width) {
-                Ok(c) => c,
-                Err(CellError::CalibrationDecisionError { .. }) => {
-                    skipped.push(format!("{} {}x{}", kind.key(), rows, width));
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            let model = ArrayModel::new(ArrayParams::new(kind, rows, width), calib);
-            let design = kind.instantiate();
-            table.push(
-                format!("{} {}x{}", kind.key(), rows, width),
-                vec![
-                    rows as f64,
-                    width as f64,
-                    model.typical_search_energy() * 1e12,
-                    model.typical_energy_per_bit() * 1e15,
-                    model.search_delay() * 1e9,
-                    model.area_mm2(eval.geometry(), design.area_f2()),
-                    model.write_energy_word().unwrap_or(0.0) * 1e15,
-                ],
-            );
+    for projection in projections {
+        match projection {
+            Ok((label, values)) => table.push(label, values),
+            Err(label) => skipped.push(label),
         }
     }
     table.note(

@@ -108,11 +108,18 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         "Average array search energy per query under application workloads (pJ)",
         workloads.iter().map(|w| w.name.clone()).collect(),
     );
-    for &kind in &params.designs {
-        let mut values = Vec::with_capacity(workloads.len());
-        for w in &workloads {
-            values.push(evaluate(eval, kind, w)? * 1e12);
-        }
+    // Workload generation above is seeded and stays serial; evaluation
+    // fans out one job per (design, workload) cell.
+    let cells_idx: Vec<(DesignKind, usize)> = params
+        .designs
+        .iter()
+        .flat_map(|&kind| (0..workloads.len()).map(move |wi| (kind, wi)))
+        .collect();
+    let energies = eval.executor().run(&cells_idx, |_, &(kind, wi)| {
+        evaluate(eval, kind, &workloads[wi]).map(|e| e * 1e12)
+    })?;
+    for (di, &kind) in params.designs.iter().enumerate() {
+        let values = energies[di * workloads.len()..(di + 1) * workloads.len()].to_vec();
         table.push(kind.key(), values);
     }
     table.note(

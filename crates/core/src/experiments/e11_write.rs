@@ -76,7 +76,8 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
     cases.extend(params.pulse_widths.iter().map(|&w| (eval.card().vprog, w)));
     cases.dedup_by(|a, b| a == b);
 
-    for (amplitude, width_s) in cases {
+    // One job per pulse case — each programs its own fresh testbench.
+    let rows = eval.executor().run(&cases, |_, &(amplitude, width_s)| {
         let mut row = eval.testbench(params.design, params.width)?;
         let timing = WriteTiming {
             erase_width: width_s,
@@ -85,7 +86,7 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             ..WriteTiming::default()
         };
         let out = row.write_word(&word, &timing)?;
-        table.push(
+        Ok::<_, CellError>((
             format!("{amplitude:.1} V / {:.0} ns", width_s * 1e9),
             vec![
                 amplitude,
@@ -96,7 +97,10 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
                 out.latency * 1e9,
                 if out.programmed_ok { 1.0 } else { 0.0 },
             ],
-        );
+        ))
+    })?;
+    for (label, values) in rows {
+        table.push(label, values);
     }
     table.note(
         "erase-before-program scheme; success requires |p| > 0.8 with the \

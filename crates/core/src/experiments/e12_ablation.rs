@@ -78,8 +78,10 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             "vs baseline".into(),
         ],
     );
-    let mut baseline = None;
-    for kind in designs {
+    // One job per design; the baseline ratio needs every design's total,
+    // so it is computed in a deterministic post-pass over the assembled
+    // results (the first design is the baseline).
+    let measurements = eval.executor().run(&designs, |_, &kind| {
         let mut row = eval.testbench(kind, params.width)?;
         row.program_word(&stored)?;
         let out = row.search(&query, &timing)?;
@@ -93,7 +95,10 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             out.energy_sl
         };
         let e_total = out.energy_ml + e_sl + out.energy_ctrl;
-        let base = *baseline.get_or_insert(e_total);
+        Ok::<_, CellError>((e_total, e_sl, out))
+    })?;
+    let base = measurements.first().expect("at least one design").0;
+    for (kind, (e_total, e_sl, out)) in designs.iter().zip(&measurements) {
         table.push(
             kind.key(),
             vec![

@@ -65,22 +65,24 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             "wakeup (ns)".into(),
         ],
     );
-    for &kind in &params.designs {
+    // Analytic and cheap, but routed through the executor anyway so every
+    // driver shares one execution (and accounting) path.
+    let rows = eval.executor().run(&params.designs, |_, &kind| {
         let p = StandbyProfile::of(kind, eval.card());
-        table.push(
-            kind.key(),
-            vec![
-                if p.retention == Retention::NonVolatile {
-                    1.0
-                } else {
-                    0.0
-                },
-                p.power_per_cell * 1e12,
-                p.array_power(params.rows, params.width) * 1e6,
-                p.gated_array_power(params.rows, params.width) * 1e6,
-                p.wakeup_latency * 1e9,
-            ],
-        );
+        Ok::<_, CellError>(vec![
+            if p.retention == Retention::NonVolatile {
+                1.0
+            } else {
+                0.0
+            },
+            p.power_per_cell * 1e12,
+            p.array_power(params.rows, params.width) * 1e6,
+            p.gated_array_power(params.rows, params.width) * 1e6,
+            p.wakeup_latency * 1e9,
+        ])
+    })?;
+    for (&kind, values) in params.designs.iter().zip(rows) {
+        table.push(kind.key(), values);
     }
     table.note(
         "volatile arrays must stay powered to retain content; non-volatile \

@@ -58,25 +58,42 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         "energy (fJ/bit) / margin (V)",
         params.temperatures.clone(),
     );
+    // One job per (design, temperature) corner. Each corner derives its
+    // own temperature-scaled card and calls `calibrate_row` directly —
+    // the cache is keyed on the nominal card, so it is bypassed here.
+    let corners: Vec<(DesignKind, f64)> = params
+        .designs
+        .iter()
+        .flat_map(|&kind| params.temperatures.iter().map(move |&t| (kind, t)))
+        .collect();
+    let cells = eval.executor().run(&corners, |_, &(kind, t)| {
+        let card = eval.card().at_temperature(Celsius::new(t));
+        match calibrate_row(kind, &card, eval.geometry(), eval.timing(), params.width) {
+            Ok(calib) => Ok(Some((
+                calib.row_energy(params.width / 2) / params.width as f64 * 1e15,
+                calib.margin_match.min(calib.margin_mismatch_1),
+            ))),
+            // Margin collapse at a temperature corner is itself the
+            // result: record the failed corner as a gap.
+            Err(CellError::CalibrationDecisionError { .. }) => Ok(None),
+            Err(err) => Err(err),
+        }
+    })?;
     let mut failed_corners: Vec<String> = Vec::new();
-    for &kind in &params.designs {
+    for (di, &kind) in params.designs.iter().enumerate() {
         let mut e = Vec::with_capacity(params.temperatures.len());
         let mut m = Vec::with_capacity(params.temperatures.len());
-        for &t in &params.temperatures {
-            let card = eval.card().at_temperature(Celsius::new(t));
-            match calibrate_row(kind, &card, eval.geometry(), eval.timing(), params.width) {
-                Ok(calib) => {
-                    e.push(calib.row_energy(params.width / 2) / params.width as f64 * 1e15);
-                    m.push(calib.margin_match.min(calib.margin_mismatch_1));
+        for (ti, &t) in params.temperatures.iter().enumerate() {
+            match cells[di * params.temperatures.len() + ti] {
+                Some((energy, margin)) => {
+                    e.push(energy);
+                    m.push(margin);
                 }
-                // Margin collapse at a temperature corner is itself the
-                // result: record the failed corner as a gap.
-                Err(CellError::CalibrationDecisionError { .. }) => {
+                None => {
                     failed_corners.push(format!("{} @ {t} °C", kind.key()));
                     e.push(f64::NAN);
                     m.push(f64::NAN);
                 }
-                Err(err) => return Err(err),
             }
         }
         fig.push_series(format!("{} energy (fJ/bit)", kind.key()), e);

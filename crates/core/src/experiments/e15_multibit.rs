@@ -65,10 +65,16 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             "functional".into(),
         ],
     );
-    for &bits in &params.bits_per_cell {
-        if params.capacity_bits % bits as usize != 0 {
-            continue;
-        }
+    // One job per bits/cell setting (settings that don't divide the
+    // capacity are dropped up front); the perturbation sweep within a
+    // setting shares its programmed row and stays serial.
+    let settings: Vec<u32> = params
+        .bits_per_cell
+        .iter()
+        .copied()
+        .filter(|&bits| params.capacity_bits.is_multiple_of(bits as usize))
+        .collect();
+    let rows = eval.executor().run(&settings, |_, &bits| {
         let width = params.capacity_bits / bits as usize;
         let mut row = McamRow::new(eval.card().clone(), eval.geometry().clone(), width)?;
         // Store an alternating quantised pattern.
@@ -100,17 +106,17 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             }
         }
         let e_avg = energy / searches as f64;
-        table.push(
-            format!("{bits} bit/cell"),
-            vec![
-                width as f64,
-                levels_per_cell as f64,
-                e_avg * 1e15,
-                e_avg / params.capacity_bits as f64 * 1e15,
-                worst_margin * 1e3,
-                if functional { 1.0 } else { 0.0 },
-            ],
-        );
+        Ok::<_, CellError>(vec![
+            width as f64,
+            levels_per_cell as f64,
+            e_avg * 1e15,
+            e_avg / params.capacity_bits as f64 * 1e15,
+            worst_margin * 1e3,
+            if functional { 1.0 } else { 0.0 },
+        ])
+    })?;
+    for (&bits, values) in settings.iter().zip(rows) {
+        table.push(format!("{bits} bit/cell"), values);
     }
     table.note(
         "energy averaged over the exact match and all adjacent-level mismatches; \

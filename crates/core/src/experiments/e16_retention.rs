@@ -77,37 +77,43 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
             "functional".into(),
         ],
     );
-    for &age in &params.ages {
-        for &cycles in &params.cycles {
-            let factor = params.reliability.retention_factor(age)
-                * params.reliability.endurance_factor(cycles);
-            let card = params.reliability.derate_card(eval.card(), age, cycles);
-            let label = format!("{:.0} y / 1e{:.0}", age / YEAR, cycles.log10());
-            match calibrate_row(
-                params.design,
-                &card,
-                eval.geometry(),
-                eval.timing(),
-                params.width,
-            ) {
-                Ok(calib) => table.push(
-                    label,
-                    vec![
-                        age / YEAR,
-                        cycles.log10(),
-                        factor,
-                        calib.row_energy(params.width / 2) / params.width as f64 * 1e15,
-                        calib.margin_match.min(calib.margin_mismatch_1) * 1e3,
-                        1.0,
-                    ],
-                ),
-                Err(CellError::CalibrationDecisionError { .. }) => table.push(
-                    label,
-                    vec![age / YEAR, cycles.log10(), factor, f64::NAN, f64::NAN, 0.0],
-                ),
-                Err(e) => return Err(e),
+    // One job per (age, cycles) corner; each derates its own card and
+    // calls `calibrate_row` directly (the cache is keyed on the nominal
+    // card, so it is bypassed here).
+    let corners: Vec<(f64, f64)> = params
+        .ages
+        .iter()
+        .flat_map(|&age| params.cycles.iter().map(move |&cycles| (age, cycles)))
+        .collect();
+    let rows = eval.executor().run(&corners, |_, &(age, cycles)| {
+        let factor =
+            params.reliability.retention_factor(age) * params.reliability.endurance_factor(cycles);
+        let card = params.reliability.derate_card(eval.card(), age, cycles);
+        let label = format!("{:.0} y / 1e{:.0}", age / YEAR, cycles.log10());
+        let values = match calibrate_row(
+            params.design,
+            &card,
+            eval.geometry(),
+            eval.timing(),
+            params.width,
+        ) {
+            Ok(calib) => vec![
+                age / YEAR,
+                cycles.log10(),
+                factor,
+                calib.row_energy(params.width / 2) / params.width as f64 * 1e15,
+                calib.margin_match.min(calib.margin_mismatch_1) * 1e3,
+                1.0,
+            ],
+            Err(CellError::CalibrationDecisionError { .. }) => {
+                vec![age / YEAR, cycles.log10(), factor, f64::NAN, f64::NAN, 0.0]
             }
-        }
+            Err(e) => return Err(e),
+        };
+        Ok((label, values))
+    })?;
+    for (label, values) in rows {
+        table.push(label, values);
     }
     table.note(
         "window factor multiplies the FeFET memory window and remanent \

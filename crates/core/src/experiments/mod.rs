@@ -7,8 +7,11 @@
 //! [`run_by_id`] provides uniform string dispatch for the `experiments`
 //! binary and the benches.
 
+use std::time::Instant;
+
 use ftcam_cells::CellError;
 
+use crate::exec::ExecStats;
 use crate::report::Artifact;
 use crate::Evaluator;
 
@@ -46,11 +49,33 @@ pub const ALL_IDS: [&str; 16] = [
 
 /// Runs one experiment by id with its quick (default) or full preset.
 ///
+/// The returned artifact carries an [`ExecStats`] delta covering exactly
+/// this run: jobs executed, per-phase executor time, calibration-cache
+/// activity and total wall-clock.
+///
 /// # Errors
 ///
 /// Returns [`CellError::InvalidParameter`] for an unknown id, and
 /// propagates simulation failures.
 pub fn run_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, CellError> {
+    let cache_before = eval.calibrations().stats();
+    let exec_before = eval.exec_counters().snapshot();
+    let started = Instant::now();
+    let mut artifact = dispatch_by_id(eval, id, full)?;
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    let exec = eval.exec_counters().snapshot().since(&exec_before);
+    artifact.set_exec(ExecStats {
+        threads: eval.threads(),
+        jobs: exec.jobs,
+        run_nanos: exec.run_nanos,
+        assemble_nanos: exec.assemble_nanos,
+        cache: eval.calibrations().stats().since(&cache_before),
+        wall_nanos,
+    });
+    Ok(artifact)
+}
+
+fn dispatch_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, CellError> {
     macro_rules! dispatch {
         ($module:ident) => {{
             let params = if full {
@@ -117,5 +142,26 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), ALL_IDS.len());
+    }
+
+    #[test]
+    fn run_by_id_attaches_exec_stats() {
+        let eval = Evaluator::quick().with_threads(2);
+        let artifact = run_by_id(&eval, "table1", false).unwrap();
+        let stats = artifact.exec().expect("exec stats attached");
+        assert_eq!(stats.threads, 2);
+        assert!(
+            stats.jobs > 0,
+            "driver must route work through the executor"
+        );
+        assert!(stats.cache.calibrations > 0, "table1 calibrates rows");
+        assert!(stats.wall_nanos > 0);
+        // A second run of the same experiment hits the warm cache: no new
+        // calibrations, and the delta covers only this run.
+        let again = run_by_id(&eval, "table1", false).unwrap();
+        let stats2 = again.exec().expect("exec stats attached");
+        assert_eq!(stats2.cache.calibrations, 0);
+        assert_eq!(stats2.cache.hits, stats.cache.calibrations);
+        assert_eq!(stats2.jobs, stats.jobs);
     }
 }

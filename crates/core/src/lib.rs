@@ -12,8 +12,13 @@
 //! * [`experiments`] — `e01_*` … `e16_*` drivers, each returning an
 //!   [`Artifact`] (a [`Table`] or [`Figure`]) that the `experiments`
 //!   binary in `ftcam-bench` prints and serialises.
+//! * [`Executor`] — the parallel sweep engine: drivers decompose their
+//!   sweeps into independent jobs, the executor fans them out over scoped
+//!   worker threads and reassembles results in deterministic item order,
+//!   so artifacts are bit-identical for any `--threads` value.
 //! * [`Table`] / [`Figure`] — serialisable report containers with
-//!   markdown/CSV rendering.
+//!   markdown/CSV rendering; each carries the [`ExecStats`] of the run
+//!   that produced it.
 //!
 //! # Example
 //!
@@ -32,10 +37,13 @@
 #![warn(missing_docs)]
 
 mod evaluator;
+mod exec;
 pub mod experiments;
 mod plot;
 mod report;
 
 pub use evaluator::Evaluator;
+pub use exec::{ExecCounters, ExecSnapshot, ExecStats, Executor};
+pub use ftcam_array::CacheStats;
 pub use plot::plot_figure;
 pub use report::{Artifact, Figure, Series, Table, TableRow};

@@ -62,7 +62,11 @@ pub fn plot_figure(figure: &Figure, width: usize, height: usize) -> String {
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("{:>11} └{}\n", format_axis(y_min), "─".repeat(width)));
+    out.push_str(&format!(
+        "{:>11} └{}\n",
+        format_axis(y_min),
+        "─".repeat(width)
+    ));
     out.push_str(&format!(
         "{:>13}{}{:>width$}\n",
         format_axis(x_min),
@@ -72,11 +76,7 @@ pub fn plot_figure(figure: &Figure, width: usize, height: usize) -> String {
     ));
     // Legend.
     for (si, series) in figure.series.iter().enumerate() {
-        out.push_str(&format!(
-            "   {} {}\n",
-            MARKS[si % MARKS.len()],
-            series.name
-        ));
+        out.push_str(&format!("   {} {}\n", MARKS[si % MARKS.len()], series.name));
     }
     out
 }
@@ -129,10 +129,7 @@ mod tests {
         let mut f = Figure::new("f", "t", "x", "y", vec![0.0, 1.0]);
         f.push_series("r", vec![0.0, 1.0]);
         let chart = plot_figure(&f, 20, 5);
-        let rows: Vec<&str> = chart
-            .lines()
-            .filter(|l| l.contains('│'))
-            .collect();
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('│')).collect();
         // Highest value drawn on the first grid row, lowest on the last.
         assert!(rows.first().unwrap().contains('*'));
         assert!(rows.last().unwrap().contains('*'));

@@ -2,13 +2,76 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::exec::ExecStats;
+
 /// One labelled row of numeric cells.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Cells may legitimately be `NaN` (sweep points a design cannot reach).
+/// JSON has no `NaN` literal, so the hand-written serde impls below map
+/// non-finite cells to `null` on the way out and `null` back to `NaN` on
+/// the way in, **positionally** — the cell keeps its column slot. (A
+/// derived impl would emit `null` but fail to deserialise it into `f64`,
+/// so NaN-carrying artifacts could be written but never read back.)
+/// Infinities also serialise as `null` and therefore degrade to `NaN` on
+/// a round trip; no experiment emits them.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRow {
     /// Row label (design name, configuration, ...).
     pub label: String,
     /// Cell values aligned with the table's columns.
     pub values: Vec<f64>,
+}
+
+impl Serialize for TableRow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("label".to_string(), self.label.to_value()),
+            ("values".to_string(), cells_to_value(&self.values)),
+        ])
+    }
+}
+
+impl Deserialize for TableRow {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "TableRow"))?;
+        Ok(Self {
+            label: String::from_value(serde::map_get(m, "label"))
+                .map_err(|e| e.in_field("TableRow.label"))?,
+            values: cells_from_value(serde::map_get(m, "values"))
+                .map_err(|e| e.in_field("TableRow.values"))?,
+        })
+    }
+}
+
+/// Numeric cells → JSON array, non-finite → `null`.
+fn cells_to_value(cells: &[f64]) -> serde::Value {
+    serde::Value::Seq(
+        cells
+            .iter()
+            .map(|v| {
+                if v.is_finite() {
+                    serde::Value::Num(serde::Number::F(*v))
+                } else {
+                    serde::Value::Null
+                }
+            })
+            .collect(),
+    )
+}
+
+/// JSON array → numeric cells, `null` → `NaN`.
+fn cells_from_value(v: &serde::Value) -> Result<Vec<f64>, serde::Error> {
+    let seq = v
+        .as_seq()
+        .ok_or_else(|| serde::Error::expected("array", v.kind_name()))?;
+    seq.iter()
+        .map(|cell| match cell {
+            serde::Value::Null => Ok(f64::NAN),
+            other => f64::from_value(other),
+        })
+        .collect()
 }
 
 /// A paper-style numeric table.
@@ -33,6 +96,10 @@ pub struct Table {
     pub rows: Vec<TableRow>,
     /// Free-form footnotes.
     pub notes: Vec<String>,
+    /// Execution statistics of the run that produced this table, if
+    /// recorded. Timing fields vary run to run; strip before comparing
+    /// artifacts (see [`Artifact::clear_exec`]).
+    pub exec: Option<ExecStats>,
 }
 
 impl Table {
@@ -44,6 +111,7 @@ impl Table {
             columns,
             rows: Vec::new(),
             notes: Vec::new(),
+            exec: None,
         }
     }
 
@@ -102,12 +170,38 @@ impl Table {
 }
 
 /// One named y-series of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Like [`TableRow`], y values may be `NaN`; the hand-written serde impls
+/// map non-finite values to `null` positionally so such series survive a
+/// JSON round trip.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series name (legend entry).
     pub name: String,
     /// Y values aligned with the figure's x vector.
     pub y: Vec<f64>,
+}
+
+impl Serialize for Series {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("y".to_string(), cells_to_value(&self.y)),
+        ])
+    }
+}
+
+impl Deserialize for Series {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "Series"))?;
+        Ok(Self {
+            name: String::from_value(serde::map_get(m, "name"))
+                .map_err(|e| e.in_field("Series.name"))?,
+            y: cells_from_value(serde::map_get(m, "y")).map_err(|e| e.in_field("Series.y"))?,
+        })
+    }
 }
 
 /// A paper-style figure: shared x axis, several series.
@@ -127,6 +221,10 @@ pub struct Figure {
     pub series: Vec<Series>,
     /// Free-form footnotes.
     pub notes: Vec<String>,
+    /// Execution statistics of the run that produced this figure, if
+    /// recorded. Timing fields vary run to run; strip before comparing
+    /// artifacts (see [`Artifact::clear_exec`]).
+    pub exec: Option<ExecStats>,
 }
 
 impl Figure {
@@ -146,6 +244,7 @@ impl Figure {
             x,
             series: Vec::new(),
             notes: Vec::new(),
+            exec: None,
         }
     }
 
@@ -169,7 +268,7 @@ impl Figure {
 
     /// Renders as CSV: `x, series1, series2, ...`.
     pub fn to_csv(&self) -> String {
-        let mut out = format!("{}", self.x_label.replace(',', ";"));
+        let mut out = self.x_label.replace(',', ";");
         for s in &self.series {
             out.push_str(&format!(",{}", s.name.replace(',', ";")));
         }
@@ -237,6 +336,33 @@ impl Artifact {
             Artifact::Figure(f) => f.to_markdown(),
         }
     }
+
+    /// Attaches the execution statistics of the run that produced this
+    /// artifact.
+    pub fn set_exec(&mut self, stats: ExecStats) {
+        match self {
+            Artifact::Table(t) => t.exec = Some(stats),
+            Artifact::Figure(f) => f.exec = Some(stats),
+        }
+    }
+
+    /// The execution statistics, if recorded.
+    pub fn exec(&self) -> Option<&ExecStats> {
+        match self {
+            Artifact::Table(t) => t.exec.as_ref(),
+            Artifact::Figure(f) => f.exec.as_ref(),
+        }
+    }
+
+    /// Removes and returns the execution statistics. Run-comparison tests
+    /// call this before checking payload equality, since the timing fields
+    /// (and the cache hit/dedup split) legitimately vary between runs.
+    pub fn clear_exec(&mut self) -> Option<ExecStats> {
+        match self {
+            Artifact::Table(t) => t.exec.take(),
+            Artifact::Figure(f) => f.exec.take(),
+        }
+    }
 }
 
 /// Four-significant-digit formatting that keeps tables readable across the
@@ -299,5 +425,64 @@ mod tests {
         let a = Artifact::Table(t);
         assert_eq!(a.id(), "t");
         assert!(a.to_markdown().contains("###"));
+    }
+
+    #[test]
+    fn nan_cells_round_trip_through_json() {
+        // Regression: derived serde wrote NaN as null but could not read
+        // null back into f64, so artifacts with unreachable sweep points
+        // serialised fine and then failed to deserialise.
+        let mut t = Table::new("t", "nan", vec!["a".into(), "b".into(), "c".into()]);
+        t.push("r", vec![1.5, f64::NAN, -2.0]);
+        let json = serde_json::to_string(&Artifact::Table(t)).unwrap();
+        assert!(json.contains("null"), "NaN must serialise as null: {json}");
+        let back: Artifact = serde_json::from_str(&json).unwrap();
+        let Artifact::Table(bt) = back else {
+            panic!("expected table")
+        };
+        // Positional: the null lands back in the same column as NaN.
+        assert_eq!(bt.rows[0].values[0], 1.5);
+        assert!(bt.rows[0].values[1].is_nan());
+        assert_eq!(bt.rows[0].values[2], -2.0);
+
+        let mut f = Figure::new("f", "nan", "x", "y", vec![0.0, 1.0]);
+        f.push_series("s", vec![f64::NAN, 3.0]);
+        let json = serde_json::to_string(&Artifact::Figure(f)).unwrap();
+        let back: Artifact = serde_json::from_str(&json).unwrap();
+        let Artifact::Figure(bf) = back else {
+            panic!("expected figure")
+        };
+        assert!(bf.series[0].y[0].is_nan());
+        assert_eq!(bf.series[0].y[1], 3.0);
+    }
+
+    #[test]
+    fn exec_stats_attach_round_trip_and_strip() {
+        let stats = crate::ExecStats {
+            threads: 4,
+            jobs: 12,
+            run_nanos: 1_000,
+            assemble_nanos: 10,
+            cache: Default::default(),
+            wall_nanos: 2_000,
+        };
+        let mut a = Artifact::Table(Table::new("t", "x", vec![]));
+        assert!(a.exec().is_none());
+        a.set_exec(stats);
+        assert_eq!(a.exec().unwrap().jobs, 12);
+        let json = serde_json::to_string(&a).unwrap();
+        let mut back: Artifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.exec().unwrap().threads, 4);
+        assert_eq!(back.clear_exec(), Some(stats));
+        assert!(back.exec().is_none());
+    }
+
+    #[test]
+    fn artifacts_without_exec_key_still_deserialise() {
+        // Forward compatibility with artifacts written before exec stats
+        // existed: a missing key must read back as None.
+        let json = r#"{"kind":"table","id":"t","title":"x","columns":[],"rows":[],"notes":[]}"#;
+        let a: Artifact = serde_json::from_str(json).unwrap();
+        assert!(a.exec().is_none());
     }
 }

@@ -4,11 +4,7 @@ use ftcam_workloads::{TcamTable, Ternary, TernaryWord};
 use proptest::prelude::*;
 
 fn ternary() -> impl Strategy<Value = Ternary> {
-    prop_oneof![
-        Just(Ternary::Zero),
-        Just(Ternary::One),
-        Just(Ternary::X),
-    ]
+    prop_oneof![Just(Ternary::Zero), Just(Ternary::One), Just(Ternary::X),]
 }
 
 fn word(width: usize) -> impl Strategy<Value = TernaryWord> {

@@ -1,0 +1,216 @@
+//! Offline shim for the `criterion` subset used by this workspace:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and [`black_box`].
+//!
+//! Measurement is deliberately simple — a fixed number of timed samples
+//! with one warm-up call, reporting the median per-iteration time to
+//! stdout. No statistical analysis, plots, or baseline comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; the shim times each routine call
+/// individually regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (one setup per timed call).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times closures for one named benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` once per sample, after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh `setup()` output per sample; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(sample_size);
+    f(&mut bencher);
+    let n = bencher.samples.len();
+    let median = bencher.median();
+    println!("bench {id:<40} median {median:>12.3?}  ({n} samples)");
+}
+
+/// The benchmark manager; one per `criterion_group!` run.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_requested_samples() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default();
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        // One warm-up plus `sample_size` timed calls.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn group_sample_size_and_batched_setup() {
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| {
+                    runs += 1;
+                    black_box(x)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 4);
+        assert_eq!(runs, 4);
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        benches();
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline shim for the `crossbeam` subset used by this workspace:
+//! `crossbeam::thread::scope` with the 0.8 API (closure receives `&Scope`,
+//! scope returns `Result` capturing stray panics), implemented over
+//! `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Boxed panic payload, as crossbeam reports it.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; spawn closures receive a reference to it so workers
+    /// can spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` holds the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope, so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before this returns. Returns `Err` with the
+    /// panic payload if the closure or an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn child_panic_is_reported_by_join() {
+        let res = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("worker failed"));
+            h.join()
+        })
+        .unwrap();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let n = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

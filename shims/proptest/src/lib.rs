@@ -1,0 +1,546 @@
+//! Offline shim for the `proptest` subset used by this workspace.
+//!
+//! Provides the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_oneof!` macros, the [`strategy::Strategy`] trait with `prop_map`,
+//! `Just`, range and tuple strategies, [`collection::vec`], `any::<T>()`,
+//! and [`ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//! - **Deterministic**: each test case's RNG is seeded from the test's
+//!   module path + name + case index, so runs are reproducible and
+//!   thread-count independent.
+//! - **No shrinking**: a failing case reports its case index and seed
+//!   instead of a minimised input.
+//! - Default case count is 64 (upstream: 256) to keep the suite fast.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Builds the RNG for one `(test, case)` pair. FNV-1a over the test
+    /// name keeps distinct tests on distinct streams.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(ChaCha8Rng::seed_from_u64(h ^ u64::from(case)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A test-case failure (from `prop_assert!`-family macros).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; construct with functional update over
+/// [`ProptestConfig::default`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for upstream API parity (this shim never shrinks), and so
+    /// the conventional `..ProptestConfig::default()` update stays
+    /// meaningful in struct literals.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Drives one property: generates `config.cases` inputs and panics with
+/// the case index on the first failure. Called by the `proptest!` macro.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        if let Err(err) = case_fn(&mut rng) {
+            panic!(
+                "proptest {test_name}: case {case}/{} failed: {err}",
+                config.cases
+            );
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Generates values of an associated type from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Object-safe view of a strategy; the `prop_oneof!` macro boxes its
+    /// arms through this so arms of different concrete types can mix.
+    pub trait DynStrategy<V> {
+        /// Draws one value.
+        fn new_value_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// Boxes a strategy for [`Union`]; used by `prop_oneof!`.
+    pub fn boxed<V, S>(strategy: S) -> Box<dyn DynStrategy<V>>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    /// Chooses among weighted alternative strategies.
+    pub struct Union<V> {
+        options: Vec<(u32, Box<dyn DynStrategy<V>>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds from `(weight, strategy)` pairs; weights must not all be
+        /// zero.
+        pub fn new(options: Vec<(u32, Box<dyn DynStrategy<V>>)>) -> Self {
+            let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! requires a positive total weight"
+            );
+            Self {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (weight, option) in &self.options {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return option.new_value_dyn(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick bounded by total weight")
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value covering the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `Vec` strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A length range for collection strategies (inclusive lower, exclusive
+    /// upper).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Chooses among alternative strategies, optionally weighted
+/// (`2 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(
+                    &$config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| -> $crate::TestCaseResult {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::new_value(&($strategy), rng);
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_test_and_case() {
+        let mut a = crate::TestRng::for_case("mod::t1", 3);
+        let mut b = crate::TestRng::for_case("mod::t1", 3);
+        let mut c = crate::TestRng::for_case("mod::t2", 3);
+        use rand::RngCore;
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Range strategies respect bounds; tuples and vec compose.
+        #[test]
+        fn ranges_and_collections(
+            x in 1u32..10,
+            y in 0usize..=4,
+            pairs in crate::collection::vec((0.0..1.0f64, 1u8..3), 2..5),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((2..5).contains(&pairs.len()));
+            for (f, b) in pairs {
+                prop_assert!((0.0..1.0).contains(&f), "f = {f}");
+                prop_assert!((1..3).contains(&b));
+            }
+        }
+
+        /// prop_oneof honours zero weights; prop_map applies.
+        #[test]
+        fn oneof_and_map(v in prop_oneof![1 => Just(1u8), 0 => Just(2u8)], w in any::<u16>()) {
+            prop_assert_eq!(v, 1);
+            let doubled = (0u32..4).prop_map(|n| n * 2);
+            let d = crate::strategy::Strategy::new_value(
+                &doubled,
+                &mut crate::TestRng::for_case("inner", u32::from(w) & 7),
+            );
+            prop_assert!(d % 2 == 0 && d < 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_reports_case() {
+        crate::run_proptest(
+            &ProptestConfig {
+                cases: 4,
+                ..ProptestConfig::default()
+            },
+            "always_fails",
+            |_rng| -> TestCaseResult { Err(TestCaseError::fail("nope")) },
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline shim for `rand_chacha`: [`ChaCha8Rng`], a genuine 8-round
+//! ChaCha keystream generator implementing the rand shim's `RngCore` and
+//! `SeedableRng`. Deterministic for a given seed; the stream does not need
+//! to be bit-compatible with upstream `rand_chacha` (nothing in this
+//! workspace depends on upstream's exact stream).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// The ChaCha8 deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words 0..8 of the ChaCha state (words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (words 12..14).
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = [0u32; 16];
+        // "expand 32-byte k" constants.
+        x[0] = 0x6170_7865;
+        x[1] = 0x3320_646e;
+        x[2] = 0x7962_2d32;
+        x[3] = 0x6b20_6574;
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = 0;
+        x[15] = 0;
+        let input = x;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(input.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        self.block = x;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn floats_cover_the_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+}

@@ -1,0 +1,510 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). The parser extracts only what codegen
+//! needs — item shape, field/variant names, and the `#[serde(...)]`
+//! attributes this workspace uses (`transparent`, `tag`, `rename_all`) —
+//! and the generated impls are emitted as source text.
+//!
+//! Supported shapes: structs with named fields, tuple/newtype structs, unit
+//! and data enum variants, and internally tagged enums of newtype variants.
+//! Generic types are intentionally rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple,
+    Struct(Vec<String>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    attrs: SerdeAttrs,
+}
+
+/// Derives the shim's `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = SerdeAttrs::default();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: `#[ ... ]`; record serde(...) contents.
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_attr(g, &mut attrs);
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => {
+                kind = Some("struct");
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => {
+                kind = Some("enum");
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types ({name})");
+        }
+    }
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            } else {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        other => panic!("unexpected token after {kind} {name}: {other:?}"),
+    };
+    Item { name, shape, attrs }
+}
+
+fn parse_attr(group: &proc_macro::Group, attrs: &mut SerdeAttrs) {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if *id.to_string() == *"serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = it.next() else {
+        return;
+    };
+    let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        if let TokenTree::Ident(id) = &toks[j] {
+            match id.to_string().as_str() {
+                "transparent" => attrs.transparent = true,
+                key @ ("tag" | "rename_all") => {
+                    // `key = "literal"`
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (toks.get(j + 1), toks.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let s = lit.to_string();
+                            let s = s.trim_matches('"').to_string();
+                            if key == "tag" {
+                                attrs.tag = Some(s);
+                            } else {
+                                attrs.rename_all = Some(s);
+                            }
+                            j += 2;
+                        }
+                    }
+                }
+                other => panic!("unsupported #[serde({other} ...)] attribute in shim"),
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Field names of a named-field body, tracking `<...>` depth so commas
+/// inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Skip `: Type` through the next top-level comma.
+        i += 1;
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Counts tuple-struct fields: top-level commas at `<...>` depth zero.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                n += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        n -= 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_top_level_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    _ => VariantKind::Tuple,
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("unsupported rename_all rule `{other}` in shim"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "__m.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Map(__m)");
+            b
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => gen_serialize_enum(item, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_serialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let rule = item.attrs.rename_all.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let wire = rename(vn, rule);
+        match (&v.kind, &item.attrs.tag) {
+            (VariantKind::Unit, _) => arms.push_str(&format!(
+                "Self::{vn} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{wire}\")),\n"
+            )),
+            (VariantKind::Newtype, Some(tag)) => arms.push_str(&format!(
+                "Self::{vn}(__inner) => {{\n\
+                 let mut __v = ::serde::Serialize::to_value(__inner);\n\
+                 match &mut __v {{\n\
+                 ::serde::Value::Map(__m) => __m.insert(0, (\
+                 ::std::string::String::from(\"{tag}\"), \
+                 ::serde::Value::Str(::std::string::String::from(\"{wire}\")))),\n\
+                 _ => panic!(\"internally tagged variant {vn} must serialise to a map\"),\n\
+                 }}\n__v\n}}\n"
+            )),
+            (VariantKind::Newtype, None) => arms.push_str(&format!(
+                "Self::{vn}(__inner) => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{wire}\"), \
+                 ::serde::Serialize::to_value(__inner))]),\n"
+            )),
+            (VariantKind::Struct(fields), None) => {
+                let mut inner = String::from(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__m.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})));\n"
+                    ));
+                }
+                let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                arms.push_str(&format!(
+                    "Self::{vn} {{ {} }} => {{\n{inner}\
+                     ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{wire}\"), ::serde::Value::Map(__m))])\n}}\n",
+                    pat.join(", ")
+                ));
+            }
+            (VariantKind::Tuple, _) | (VariantKind::Struct(_), Some(_)) => panic!(
+                "serde shim: unsupported enum variant shape {vn} in {}",
+                item.name
+            ),
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => gen_deserialize_named(name, fields, "Self"),
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if __s.len() != {n} {{\n\
+                 return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"{n}-element array\", \"{name}\"));\n}}\n\
+                 ::std::result::Result::Ok(Self({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => gen_deserialize_enum(item, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Constructor expression for a named-field struct (or struct variant) read
+/// from map `__m`.
+fn gen_deserialize_named(context: &str, fields: &[String], ctor: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\"))\
+             .map_err(|e| e.in_field(\"{context}.{f}\"))?,\n"
+        ));
+    }
+    format!(
+        "let __m = __v.as_map().ok_or_else(|| \
+         ::serde::Error::expected(\"map\", \"{context}\"))?;\n\
+         ::std::result::Result::Ok({ctor} {{\n{inits}}})"
+    )
+}
+
+fn gen_deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.attrs.rename_all.as_deref();
+    if let Some(tag) = &item.attrs.tag {
+        // Internally tagged: look up the tag, hand the whole map to the
+        // newtype payload (which ignores the extra tag key).
+        let mut arms = String::new();
+        for v in variants {
+            let vn = &v.name;
+            let wire = rename(vn, rule);
+            match v.kind {
+                VariantKind::Newtype => arms.push_str(&format!(
+                    "\"{wire}\" => ::std::result::Result::Ok(\
+                     Self::{vn}(::serde::Deserialize::from_value(__v)?)),\n"
+                )),
+                _ => panic!("tagged enums support only newtype variants in shim ({name})"),
+            }
+        }
+        return format!(
+            "let __m = __v.as_map().ok_or_else(|| \
+             ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+             let __tag = ::serde::map_get(__m, \"{tag}\").as_str().ok_or_else(|| \
+             ::serde::Error::expected(\"`{tag}` tag\", \"{name}\"))?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::Error::msg(\
+             format!(\"unknown {name} variant `{{__other}}`\"))),\n}}"
+        );
+    }
+    // Externally tagged (serde default): unit variants are strings, data
+    // variants are single-key maps.
+    let mut str_arms = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let wire = rename(vn, rule);
+        match &v.kind {
+            VariantKind::Unit => str_arms.push_str(&format!(
+                "\"{wire}\" => ::std::result::Result::Ok(Self::{vn}),\n"
+            )),
+            VariantKind::Newtype => map_arms.push_str(&format!(
+                "\"{wire}\" => ::std::result::Result::Ok(\
+                 Self::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantKind::Struct(fields) => {
+                let ctor = format!("Self::{vn}");
+                let inner = gen_deserialize_named(&format!("{name}::{vn}"), fields, &ctor)
+                    .replace("__v.as_map()", "__inner.as_map()");
+                map_arms.push_str(&format!("\"{wire}\" => {{\n{inner}\n}}\n"));
+            }
+            VariantKind::Tuple => {
+                panic!("serde shim: tuple enum variants unsupported ({name}::{vn})")
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::msg(\
+         format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+         ::serde::Value::Map(__map) if __map.len() == 1 => {{\n\
+         let (__k, __inner) = &__map[0];\n\
+         match __k.as_str() {{\n{map_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::msg(\
+         format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::Error::expected(\"string or single-key map\", \"{name}\")),\n}}"
+    )
+}
