@@ -172,9 +172,11 @@ pub fn calibrate_row(
     // Per-stage calibration (trivial single entry for flat designs).
     let stages = build_stage_calibration(width, &stages_match, &stages_miss, timing);
 
-    // Write energy for NVM designs.
+    // Write energy for NVM designs. The write follows the search phase's
+    // step-control policy so adaptive runs speed up calibration too.
     let e_write_per_bit = if row.design().supports_transient_write() {
-        let out = row.write_word(&stored, &Default::default())?;
+        let write_timing = ftcam_cells::WriteTiming::default().with_step_control(timing.step);
+        let out = row.write_word(&stored, &write_timing)?;
         Some(out.energy_total / width as f64)
     } else {
         None

@@ -2,9 +2,12 @@
 //! (reconstructed) evaluation and prints/serialises them.
 //!
 //! ```text
-//! experiments [--full] [--threads N] [--out DIR] [ID ...]
+//! experiments [--full] [--adaptive] [--threads N] [--out DIR] [ID ...]
 //!
 //!   --full       paper-scale presets (slow; use a release build)
+//!   --adaptive   truncation-error-controlled time stepping (fewer,
+//!                larger transient steps; energies/delays agree with the
+//!                fixed-step reference to within 1%)
 //!   --threads N  worker threads for sweep execution (default: one per
 //!                core; 1 forces the serial path — output is identical
 //!                for any N)
@@ -19,10 +22,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ftcam_bench::{save_artifact, DEFAULT_OUT_DIR};
+use ftcam_cells::StepControl;
 use ftcam_core::{experiments, plot_figure, Artifact, Evaluator};
 
 fn main() -> ExitCode {
     let mut full = false;
+    let mut adaptive = false;
     let mut threads: Option<usize> = None;
     let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
     let mut ids: Vec<String> = Vec::new();
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--adaptive" => adaptive = true,
             "--threads" => match args.next().map(|n| n.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => threads = Some(n),
                 _ => {
@@ -46,7 +52,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--full] [--threads N] [--out DIR] [ID ...]\nids: {}",
+                    "usage: experiments [--full] [--adaptive] [--threads N] [--out DIR] \
+                     [ID ...]\nids: {}",
                     experiments::ALL_IDS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -66,9 +73,13 @@ fn main() -> ExitCode {
     if let Some(n) = threads {
         eval = eval.with_threads(n);
     }
+    if adaptive {
+        eval = eval.with_step_control(StepControl::adaptive());
+    }
     println!(
-        "# ftcam experiments ({} preset, {} thread(s)) — {} experiment(s)\n",
+        "# ftcam experiments ({} preset, {} stepping, {} thread(s)) — {} experiment(s)\n",
         if full { "full" } else { "quick" },
+        if adaptive { "adaptive" } else { "fixed" },
         eval.threads(),
         ids.len()
     );
@@ -92,6 +103,11 @@ fn main() -> ExitCode {
                         s.cache.dedup_waits,
                         s.cache.calibrations,
                         s.cache.calibrate_nanos as f64 / 1e6,
+                    );
+                    println!(
+                        "_steps: {} accepted / {} rejected / {} halving(s), \
+                         {} Newton iteration(s)_",
+                        s.steps.accepted, s.steps.rejected, s.steps.halvings, s.steps.newton_iters,
                     );
                 }
                 match save_artifact(&out_dir, &artifact) {

@@ -12,10 +12,10 @@
 //! Array sizes here are kept small (≤ ~16×32) — the point is validation,
 //! not capacity; larger arrays belong to the analytical model.
 
-use ftcam_circuit::analysis::{RecordMode, Transient, TransientOpts};
+use ftcam_circuit::analysis::{Transient, TransientOpts};
 use ftcam_circuit::elements::{Capacitor, Resistor};
 use ftcam_circuit::waveform::Waveform;
-use ftcam_circuit::{Circuit, NodeId, PinId};
+use ftcam_circuit::{Circuit, NodeId, PinId, StepStats};
 use ftcam_devices::{Mosfet, TechCard};
 use ftcam_workloads::{TcamTable, TernaryWord};
 
@@ -58,6 +58,7 @@ pub struct ArrayTestbench {
     pre_pins: Vec<PinId>,
     en_pin: Option<PinId>,
     stored: TcamTable,
+    step_stats: StepStats,
 }
 
 impl ArrayTestbench {
@@ -202,12 +203,19 @@ impl ArrayTestbench {
             pre_pins,
             en_pin,
             stored: TcamTable::new(width),
+            step_stats: StepStats::default(),
         })
     }
 
     /// Array shape `(rows, width)`.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.width)
+    }
+
+    /// Cumulative transient step statistics over every search this
+    /// testbench has run.
+    pub fn step_stats(&self) -> StepStats {
+        self.step_stats
     }
 
     /// The stored content as a golden-model table.
@@ -292,10 +300,12 @@ impl ArrayTestbench {
 
         let opts = TransientOpts::new(timing.dt, t_total)
             .use_initial_conditions()
-            .with_record(RecordMode::Nodes(self.ml_nodes.clone()));
+            .with_step_control(timing.step)
+            .record_nodes(self.ml_nodes.iter().copied());
         let result = Transient::new(opts)
             .run(&mut self.ckt)
             .map_err(CellError::from)?;
+        self.step_stats += result.step_stats();
 
         let t_sense = t_cycle + timing.t_precharge + timing.sense_offset;
         let mut row_matches = Vec::with_capacity(self.rows);

@@ -67,3 +67,7 @@ pub use mcam::{pack_word, LevelRange, McamEncoder, McamRow};
 pub use row::{MlTrace, RowTestbench};
 pub use search::{SearchOutcome, SearchTiming, StageOutcome};
 pub use write::{WriteOutcome, WriteTiming};
+
+// Step-control policy and statistics, re-exported so downstream crates can
+// configure the solver without depending on `ftcam-circuit` directly.
+pub use ftcam_circuit::{StepControl, StepStats};

@@ -3,7 +3,7 @@
 use ftcam_circuit::analysis::{RecordMode, Transient, TransientOpts};
 use ftcam_circuit::elements::{Capacitor, Resistor};
 use ftcam_circuit::waveform::Waveform;
-use ftcam_circuit::{Circuit, Edge, NodeId, PinId};
+use ftcam_circuit::{Circuit, Edge, NodeId, PinId, StepStats};
 use ftcam_devices::{FeFet, Mosfet, MosfetParams, Polarity, TechCard};
 use ftcam_workloads::{Ternary, TernaryWord};
 
@@ -80,6 +80,7 @@ pub struct RowTestbench {
     segment_of_column: Vec<usize>,
     segment_columns: Vec<Vec<usize>>,
     stored: TernaryWord,
+    step_stats: StepStats,
 }
 
 impl RowTestbench {
@@ -266,12 +267,19 @@ impl RowTestbench {
             segment_of_column,
             segment_columns,
             stored: TernaryWord::all_x(width),
+            step_stats: StepStats::default(),
         })
     }
 
     /// Word width.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Cumulative transient step statistics over every operation this
+    /// testbench has run (searches, writes, calibration sweeps).
+    pub fn step_stats(&self) -> StepStats {
+        self.step_stats
     }
 
     /// The design under test.
@@ -421,10 +429,12 @@ impl RowTestbench {
             // --- Simulate two cycles ----------------------------------------
             let opts = TransientOpts::new(timing.dt, t_total)
                 .use_initial_conditions()
-                .with_record(RecordMode::Nodes(vec![self.ml_nodes[seg]]));
+                .with_step_control(timing.step)
+                .record_nodes([self.ml_nodes[seg]]);
             let result = Transient::new(opts)
                 .run(&mut self.ckt)
                 .map_err(CellError::from)?;
+            self.step_stats += result.step_stats();
 
             // --- Measure the steady-state (second) cycle ---------------------
             let ml = result.trace(&self.ml_names[seg]).map_err(CellError::from)?;
@@ -590,10 +600,12 @@ impl RowTestbench {
 
         let opts = TransientOpts::new(timing.dt, t_total)
             .use_initial_conditions()
+            .with_step_control(timing.step)
             .with_record(RecordMode::None);
         let result = Transient::new(opts)
             .run(&mut self.ckt)
             .map_err(CellError::from)?;
+        self.step_stats += result.step_stats();
 
         // Collect outcomes.
         let mut polarizations = Vec::with_capacity(2 * self.width);
@@ -771,10 +783,12 @@ impl RowTestbench {
         }
         let opts = TransientOpts::new(timing.dt, t_total)
             .use_initial_conditions()
-            .with_record(RecordMode::Nodes(vec![self.ml_nodes[seg]]));
+            .with_step_control(timing.step)
+            .record_nodes([self.ml_nodes[seg]]);
         let result = Transient::new(opts)
             .run(&mut self.ckt)
             .map_err(CellError::from)?;
+        self.step_stats += result.step_stats();
         let ml = result.trace(&self.ml_names[seg]).map_err(CellError::from)?;
         let eval_start = t_cycle + timing.t_precharge;
         let t_sense = eval_start + timing.sense_offset;

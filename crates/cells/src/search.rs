@@ -1,5 +1,6 @@
 //! Search-operation timing and measurement types.
 
+use ftcam_circuit::StepControl;
 use serde::{Deserialize, Serialize};
 
 /// Clocking of one search cycle.
@@ -21,6 +22,11 @@ pub struct SearchTiming {
     pub dt: f64,
     /// Sense instant, measured from the start of the evaluate phase.
     pub sense_offset: f64,
+    /// Transient step-control policy. [`StepControl::Fixed`] reproduces the
+    /// historical fixed-`dt` behaviour; [`StepControl::Adaptive`] lets the
+    /// solver grow the step across flat waveform regions under truncation
+    /// error control, with `dt` as the base (and post-breakpoint) step.
+    pub step: StepControl,
 }
 
 impl Default for SearchTiming {
@@ -31,6 +37,7 @@ impl Default for SearchTiming {
             edge: 40e-12,
             dt: 20e-12,
             sense_offset: 0.6e-9,
+            step: StepControl::Fixed,
         }
     }
 }
@@ -49,6 +56,7 @@ impl SearchTiming {
             edge: 50e-12,
             dt: 25e-12,
             sense_offset: 0.4e-9,
+            step: StepControl::Fixed,
         }
     }
 
@@ -62,7 +70,15 @@ impl SearchTiming {
             edge: 60e-12,
             dt: 40e-12,
             sense_offset: 4.0e-9,
+            step: StepControl::Fixed,
         }
+    }
+
+    /// Sets the transient step-control policy used by the testbenches.
+    #[must_use]
+    pub fn with_step_control(mut self, step: StepControl) -> Self {
+        self.step = step;
+        self
     }
 }
 

@@ -1,5 +1,6 @@
 //! Write-operation timing and measurement types.
 
+use ftcam_circuit::StepControl;
 use serde::{Deserialize, Serialize};
 
 /// Pulse scheme for a transient FeFET word write.
@@ -23,6 +24,10 @@ pub struct WriteTiming {
     pub dt: f64,
     /// Pulse amplitude override; `None` uses the card's `vprog`.
     pub amplitude: Option<f64>,
+    /// Transient step-control policy (see [`SearchTiming::step`]).
+    ///
+    /// [`SearchTiming::step`]: crate::SearchTiming::step
+    pub step: StepControl,
 }
 
 impl Default for WriteTiming {
@@ -34,6 +39,7 @@ impl Default for WriteTiming {
             gap: 2e-9,
             dt: 0.25e-9,
             amplitude: None,
+            step: StepControl::Fixed,
         }
     }
 }
@@ -42,6 +48,13 @@ impl WriteTiming {
     /// Total write latency: erase + gap + program (+ settle edges).
     pub fn latency(&self) -> f64 {
         self.erase_width + self.gap + self.program_width + 4.0 * self.edge
+    }
+
+    /// Sets the transient step-control policy used by the testbenches.
+    #[must_use]
+    pub fn with_step_control(mut self, step: StepControl) -> Self {
+        self.step = step;
+        self
     }
 }
 

@@ -101,6 +101,21 @@ impl DcOperatingPoint {
         self
     }
 
+    /// Overrides the full Newton settings (tolerances, iteration cap,
+    /// damping and `gmin`).
+    ///
+    /// ```
+    /// use ftcam_circuit::analysis::{DcOperatingPoint, NewtonSettings};
+    ///
+    /// let op = DcOperatingPoint::new()
+    ///     .with_newton(NewtonSettings::new().with_tolerances(1e-6, 1e-8, 1e-14));
+    /// # let _ = op;
+    /// ```
+    pub fn with_newton(mut self, settings: NewtonSettings) -> Self {
+        self.settings = settings;
+        self
+    }
+
     /// Runs the analysis.
     ///
     /// # Errors

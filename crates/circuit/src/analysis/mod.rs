@@ -5,4 +5,5 @@ mod newton;
 mod transient;
 
 pub use dc::{DcOperatingPoint, DcResult};
-pub use transient::{InitialState, RecordMode, Transient, TransientOpts};
+pub use newton::NewtonSettings;
+pub use transient::{InitialState, RecordMode, StepControl, Transient, TransientOpts};

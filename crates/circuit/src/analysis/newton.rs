@@ -6,8 +6,26 @@ use crate::linalg::SystemMatrix;
 use crate::stamp::{IntegrationMethod, StampCtx, StampMode, VarMap};
 
 /// Convergence and robustness knobs for the Newton iteration.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct NewtonSettings {
+///
+/// Shared by the DC operating point and the transient analysis. The
+/// defaults suit the sub-micron TCAM circuits this crate targets; loosen
+/// or tighten them through the builder methods and attach the result with
+/// [`crate::analysis::TransientOpts::with_newton`] or
+/// [`crate::analysis::DcOperatingPoint::with_newton`].
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_circuit::analysis::NewtonSettings;
+///
+/// let settings = NewtonSettings::new()
+///     .with_tolerances(1e-5, 1e-7, 1e-13)
+///     .with_max_iters(200);
+/// assert_eq!(settings.reltol, 1e-5);
+/// assert_eq!(settings.max_iters, 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonSettings {
     /// Absolute voltage tolerance (volts).
     pub abstol_v: f64,
     /// Absolute branch-current tolerance (amps).
@@ -33,6 +51,37 @@ impl Default for NewtonSettings {
             max_voltage_step: 0.5,
             gmin: 1e-12,
         }
+    }
+}
+
+impl NewtonSettings {
+    /// Creates the default settings (same as `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the convergence tolerances: relative tolerance plus the
+    /// absolute voltage and branch-current floors.
+    #[must_use]
+    pub fn with_tolerances(mut self, reltol: f64, abstol_v: f64, abstol_i: f64) -> Self {
+        self.reltol = reltol;
+        self.abstol_v = abstol_v;
+        self.abstol_i = abstol_i;
+        self
+    }
+
+    /// Sets the iteration cap for nonlinear circuits.
+    #[must_use]
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Sets the `gmin` shunt conductance applied to free-node diagonals.
+    #[must_use]
+    pub fn with_gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
     }
 }
 

@@ -2,12 +2,14 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::analysis::dc::solve_dc;
 use crate::analysis::newton::{self, NewtonSettings, NewtonWorkspace};
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
 use crate::node::NodeId;
-use crate::probe::{TraceStore, TransientResult};
+use crate::probe::{record_global_steps, StepStats, TraceStore, TransientResult};
 use crate::stamp::{CommitCtx, IntegrationMethod, VarKind};
 
 /// How the initial state of a transient is established.
@@ -38,7 +40,112 @@ pub enum RecordMode {
     None,
 }
 
+impl RecordMode {
+    /// Records only the given nodes.
+    ///
+    /// Accepts anything iterable over [`NodeId`] — an array, a slice copy,
+    /// a `Vec`, an iterator chain:
+    ///
+    /// ```
+    /// use ftcam_circuit::{Circuit, analysis::RecordMode};
+    ///
+    /// let mut ckt = Circuit::new();
+    /// let a = ckt.node("a");
+    /// let b = ckt.node("b");
+    /// let mode = RecordMode::nodes([a, b]);
+    /// assert_eq!(mode, RecordMode::Nodes(vec![a, b]));
+    /// ```
+    pub fn nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        RecordMode::Nodes(nodes.into_iter().collect())
+    }
+}
+
+/// Time-step control policy for a [`Transient`] run.
+///
+/// [`StepControl::Fixed`] (the default) takes the base step everywhere —
+/// every run is bit-for-bit reproducible against the historical engine.
+/// [`StepControl::Adaptive`] treats the base step as the accuracy
+/// reference and *grows* the step across smooth waveform regions as long
+/// as the estimated per-node local truncation error (LTE) stays below
+/// `trtol`; a grown step whose LTE overshoots is rejected — before any
+/// device state commits — and retried smaller, but never below the base
+/// step. Sharp edges therefore cost exactly what fixed stepping pays,
+/// while flat precharge/evaluate plateaus are crossed in a handful of
+/// steps, which cuts the accepted step count by well over 2× on the TCAM
+/// waveforms at sub-percent energy/delay error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum StepControl {
+    /// Take the base step everywhere (halving only on Newton failures).
+    #[default]
+    Fixed,
+    /// Local-truncation-error-controlled growth above the base step.
+    Adaptive {
+        /// Truncation-error tolerance, dimensionless: the per-node LTE is
+        /// held below `trtol × (0.1 V + |v|)` per step.
+        trtol: f64,
+        /// Newton-halving underflow floor (seconds); `0.0` derives
+        /// `base dt × 1e-6`. LTE rejection never shrinks below the base
+        /// step, only divergence halving can.
+        dt_min: f64,
+        /// Largest step (seconds); `0.0` derives `base dt × 64`.
+        dt_max: f64,
+    },
+}
+
+impl StepControl {
+    /// Default truncation-error tolerance of [`StepControl::adaptive`].
+    pub const DEFAULT_TRTOL: f64 = 1e-3;
+
+    /// Default growth cap of the adaptive step over the base step, used
+    /// when `dt_max` is left at `0.0`.
+    pub const DEFAULT_GROWTH_CAP: f64 = 64.0;
+
+    /// Adaptive control with the default tolerance and bounds derived from
+    /// the base step (`dt_min = dt × 1e-6`, `dt_max = dt × 64`).
+    pub fn adaptive() -> Self {
+        StepControl::Adaptive {
+            trtol: Self::DEFAULT_TRTOL,
+            dt_min: 0.0,
+            dt_max: 0.0,
+        }
+    }
+
+    /// Adaptive control with an explicit tolerance; bounds still derive
+    /// from the base step.
+    pub fn adaptive_with_trtol(trtol: f64) -> Self {
+        StepControl::Adaptive {
+            trtol,
+            dt_min: 0.0,
+            dt_max: 0.0,
+        }
+    }
+
+    /// `true` for the adaptive policy.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, StepControl::Adaptive { .. })
+    }
+}
+
 /// Options for a [`Transient`] run.
+///
+/// # Examples
+///
+/// The builder covers the step-control policy, Newton tolerances, recorded
+/// nodes and initial conditions:
+///
+/// ```
+/// use ftcam_circuit::analysis::{NewtonSettings, StepControl, TransientOpts};
+/// use ftcam_circuit::Circuit;
+///
+/// let mut ckt = Circuit::new();
+/// let out = ckt.node("out");
+/// let opts = TransientOpts::new(10e-12, 4e-9)
+///     .with_step_control(StepControl::adaptive())
+///     .with_newton(NewtonSettings::new().with_tolerances(1e-4, 1e-6, 1e-12))
+///     .with_initial_voltages([(out, 0.8)])
+///     .record_nodes([out]);
+/// assert!(opts.step.is_adaptive());
+/// ```
 #[derive(Debug, Clone)]
 pub struct TransientOpts {
     /// Base time step (seconds).
@@ -51,10 +158,13 @@ pub struct TransientOpts {
     pub init: InitialState,
     /// Node-voltage recording policy.
     pub record: RecordMode,
-    /// Smallest step accepted while recovering from Newton failures.
+    /// Smallest step accepted while recovering from Newton failures
+    /// (fixed-step mode; the adaptive policy carries its own floor).
     pub dt_min: f64,
+    /// Step-control policy.
+    pub step: StepControl,
     /// Newton tolerances.
-    pub(crate) newton: NewtonSettings,
+    pub newton: NewtonSettings,
 }
 
 impl TransientOpts {
@@ -67,6 +177,7 @@ impl TransientOpts {
             init: InitialState::default(),
             record: RecordMode::default(),
             dt_min: dt * 1e-6,
+            step: StepControl::Fixed,
             newton: NewtonSettings::default(),
         }
     }
@@ -83,15 +194,37 @@ impl TransientOpts {
         self
     }
 
-    /// Starts from the given node voltages (implies *use initial conditions*).
-    pub fn with_initial_voltages(mut self, voltages: HashMap<NodeId, f64>) -> Self {
-        self.init = InitialState::UseInitialConditions(voltages);
+    /// Starts from the given node voltages (implies *use initial
+    /// conditions*). Accepts any iterable of `(node, volts)` pairs.
+    pub fn with_initial_voltages<I>(mut self, voltages: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, f64)>,
+    {
+        self.init = InitialState::UseInitialConditions(voltages.into_iter().collect());
         self
     }
 
     /// Sets the node-voltage recording policy.
     pub fn with_record(mut self, record: RecordMode) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Records only the given nodes — shorthand for
+    /// `with_record(RecordMode::nodes(...))`.
+    pub fn record_nodes<I: IntoIterator<Item = NodeId>>(self, nodes: I) -> Self {
+        self.with_record(RecordMode::nodes(nodes))
+    }
+
+    /// Sets the step-control policy.
+    pub fn with_step_control(mut self, step: StepControl) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Overrides the Newton convergence settings.
+    pub fn with_newton(mut self, newton: NewtonSettings) -> Self {
+        self.newton = newton;
         self
     }
 
@@ -108,21 +241,91 @@ impl TransientOpts {
                 self.t_stop
             )));
         }
+        if let StepControl::Adaptive {
+            trtol,
+            dt_min,
+            dt_max,
+        } = self.step
+        {
+            if !(trtol > 0.0 && trtol.is_finite()) {
+                return Err(CircuitError::InvalidOption(format!(
+                    "adaptive trtol must be positive, got {trtol}"
+                )));
+            }
+            if dt_min < 0.0 || dt_max < 0.0 || !dt_min.is_finite() || !dt_max.is_finite() {
+                return Err(CircuitError::InvalidOption(format!(
+                    "adaptive step bounds must be non-negative, got dt_min {dt_min}, \
+                     dt_max {dt_max}"
+                )));
+            }
+            if dt_min > 0.0 && dt_max > 0.0 && dt_min > dt_max {
+                return Err(CircuitError::InvalidOption(format!(
+                    "adaptive dt_min {dt_min} exceeds dt_max {dt_max}"
+                )));
+            }
+        }
         Ok(())
     }
 }
 
+/// Voltage floor of the per-node LTE weight: tolerances stay meaningful on
+/// nodes sitting near 0 V.
+const LTE_V_FLOOR: f64 = 0.1;
+
+/// Worst per-node ratio of estimated local truncation error to tolerance.
+///
+/// With the linear divided-difference predictor
+/// `x̂ = xₙ + (xₙ − xₙ₋₁)·dt/dt_prev`, the predictor–corrector gap equals
+/// `dt·(dt + dt_prev)` times the second divided difference, so scaling it
+/// by `dt/(dt + dt_prev)` recovers the backward-Euler LTE `dt²·x″/2`. For
+/// trapezoidal integration (order 2) the same estimate is a conservative
+/// bound. Branch-current unknowns are excluded — the policy controls node
+/// voltages, the quantity the energy accounting integrates.
+#[allow(clippy::too_many_arguments)]
+fn lte_ratio(
+    x_try: &[f64],
+    x_cur: &[f64],
+    x_prev: &[f64],
+    dt: f64,
+    dt_prev: f64,
+    n_free: usize,
+    trtol: f64,
+) -> f64 {
+    let scale = dt / (dt + dt_prev);
+    let slope = dt / dt_prev;
+    let mut worst = 0.0f64;
+    for col in 0..n_free {
+        let pred = x_cur[col] + (x_cur[col] - x_prev[col]) * slope;
+        let lte = (x_try[col] - pred).abs() * scale;
+        let tol = trtol * (LTE_V_FLOOR + x_try[col].abs().max(x_cur[col].abs()));
+        worst = worst.max(lte / tol);
+    }
+    worst
+}
+
 /// The transient analysis.
 ///
-/// Fixed base step with:
+/// Breakpoint-aligned time stepping (steps land exactly on source edges)
+/// with two policies:
 ///
-/// * breakpoint alignment — steps land exactly on source edges,
-/// * automatic step halving when Newton fails, recovering the base step
-///   afterwards,
-/// * a *measure* pass after every accepted step that recovers the current
-///   delivered by each pinned source and integrates per-source energy.
+/// * [`StepControl::Fixed`] — the base step everywhere, with automatic
+///   halving when Newton fails and recovery afterwards.
+/// * [`StepControl::Adaptive`] — local-truncation-error control: each
+///   converged solve is compared against a divided-difference predictor
+///   built from the accepted history; steps whose estimated error exceeds
+///   `trtol` are rejected **before any device state is committed** and
+///   retried smaller, comfortable steps grow up to `dt_max` (never past a
+///   breakpoint). The controller restarts at the base step after every
+///   breakpoint so waveform edges are always resolved finely.
 ///
-/// See the crate-level example for usage.
+/// In both policies a *measure* pass runs after every accepted step —
+/// before device state is committed, so companion models still see the
+/// previous state — recovering the current delivered by each pinned source
+/// and integrating per-source energy.
+///
+/// See the crate-level example and [`TransientOpts`] for usage; accepted /
+/// rejected / iteration counts are reported via
+/// [`TransientResult::step_stats`].
 #[derive(Debug, Clone)]
 pub struct Transient {
     opts: TransientOpts,
@@ -138,7 +341,9 @@ impl Transient {
     ///
     /// The circuit's device state (capacitor charges, FeFET polarization) is
     /// mutated by the run and reflects the final instant afterwards, so
-    /// consecutive transients compose (program, then search).
+    /// consecutive transients compose (program, then search). Rejected
+    /// adaptive steps never touch device state — only accepted steps
+    /// commit.
     ///
     /// # Errors
     ///
@@ -150,6 +355,23 @@ impl Transient {
     pub fn run(&self, circuit: &mut Circuit) -> Result<TransientResult, CircuitError> {
         self.opts.validate()?;
         let opts = &self.opts;
+        // Resolve the step-control policy against the base step.
+        let (adaptive, trtol, dt_floor, dt_cap) = match opts.step {
+            StepControl::Fixed => (false, 0.0, opts.dt_min, opts.dt),
+            StepControl::Adaptive {
+                trtol,
+                dt_min,
+                dt_max,
+            } => {
+                let lo = if dt_min > 0.0 { dt_min } else { opts.dt * 1e-6 };
+                let hi = if dt_max > 0.0 {
+                    dt_max
+                } else {
+                    opts.dt * StepControl::DEFAULT_GROWTH_CAP
+                };
+                (true, trtol, lo, hi.max(opts.dt))
+            }
+        };
         let vars = circuit.build_var_map();
         let n = vars.n_unknowns();
         let mut ws = NewtonWorkspace::new(n);
@@ -202,8 +424,7 @@ impl Transient {
         let mut pin_energy = vec![0.0; n_pins];
         let mut device_energy = vec![0.0; n_devices];
         let mut max_kcl = 0.0f64;
-        let mut newton_iters = 0usize;
-        let mut steps = 0usize;
+        let mut stats = StepStats::default();
 
         // Sample at t = 0.
         newton::measure_currents(
@@ -241,6 +462,11 @@ impl Transient {
         let mut bp_iter = breakpoints.into_iter().peekable();
         let mut t = 0.0f64;
         let t_eps = opts.t_stop * 1e-12;
+        // Adaptive-control state: the step the controller wants next and
+        // the last accepted state `(x_{n-1}, dt_prev)` for the predictor.
+        // Both restart at breakpoints, where waveform slopes jump.
+        let mut cur_dt = opts.dt;
+        let mut hist: Option<(Vec<f64>, f64)> = None;
         while t < opts.t_stop - t_eps {
             // Advance past consumed breakpoints.
             while let Some(&bp) = bp_iter.peek() {
@@ -255,18 +481,27 @@ impl Transient {
                 .copied()
                 .unwrap_or(opts.t_stop)
                 .min(opts.t_stop);
-            let mut dt = opts.dt.min(seg_end - t);
+            let mut dt = cur_dt.min(seg_end - t);
             // Avoid a sliver step at the end of a segment.
             if seg_end - (t + dt) < opts.dt * 1e-3 {
                 dt = seg_end - t;
             }
+            // A segment below the floating-point resolution at `t` cannot
+            // host a step: `t + dt` would not advance (and a zero-length
+            // dt would blow up the reactive companion models). Jump to its
+            // end instead of attempting a solve.
+            if t + dt <= t {
+                t = seg_end;
+                continue;
+            }
 
-            // Attempt the step, halving on Newton failure.
+            // Attempt the step: halve on Newton divergence, shrink on LTE
+            // rejection. Device state is only committed after acceptance.
+            // The floor is enforced where the step shrinks (Newton
+            // halving), not up front: a breakpoint segment legitimately
+            // shorter than `dt_min` must still be steppable.
             let mut x_try;
             loop {
-                if dt < opts.dt_min {
-                    return Err(CircuitError::StepSizeUnderflow { time: t, dt });
-                }
                 let t_next = t + dt;
                 circuit.pinned_values_at(t_next, &mut pinned);
                 x_try = x.clone();
@@ -282,17 +517,47 @@ impl Transient {
                     &mut ws,
                 ) {
                     Ok(iters) => {
-                        newton_iters += iters;
+                        stats.newton_iters += iters as u64;
+                        if adaptive {
+                            if let Some((ref x_prev, dt_prev)) = hist {
+                                let ratio =
+                                    lte_ratio(&x_try, &x, x_prev, dt, dt_prev, vars.n_free, trtol);
+                                if ratio > 1.0 && dt > opts.dt * (1.0 + 1e-12) {
+                                    // Reject: retry smaller. The base step
+                                    // `opts.dt` is the accuracy reference
+                                    // (it is what a fixed-step run uses
+                                    // everywhere), so the LTE check only
+                                    // governs *grown* steps and never
+                                    // pushes below the base — sharp edges
+                                    // cost what they cost under fixed
+                                    // stepping, flat regions are cheaper.
+                                    stats.rejected += 1;
+                                    let shrink = (0.9 / ratio.sqrt()).clamp(0.1, 0.5);
+                                    dt = (dt * shrink).max(opts.dt);
+                                    continue;
+                                }
+                                // Accept and schedule the next step: the
+                                // first-order LTE scales with dt², so the
+                                // optimum grows like 1/√ratio (safety 0.9,
+                                // at most 2× per step, never past dt_max).
+                                let grow = (0.9 / ratio.max(1e-6).sqrt()).clamp(0.2, 2.0);
+                                cur_dt = (dt * grow).clamp(opts.dt, dt_cap);
+                            }
+                        }
                         break;
                     }
                     Err(CircuitError::NewtonDiverged { .. }) => {
+                        stats.halvings += 1;
                         dt *= 0.5;
+                        if dt < dt_floor {
+                            return Err(CircuitError::StepSizeUnderflow { time: t, dt });
+                        }
                     }
                     Err(e) => return Err(e),
                 }
             }
             let t_next = t + dt;
-            x = x_try;
+            let x_accepted_prev = std::mem::replace(&mut x, x_try);
 
             // Measure pass BEFORE commit: companion models must still see
             // the previous state so capacitor/FeFET currents are exact.
@@ -324,6 +589,20 @@ impl Transient {
                 for dev in circuit.devices.iter_mut() {
                     dev.commit(&ctx);
                 }
+                // Devices with internal dynamics the node-voltage LTE
+                // cannot see (ferroelectric switching under constant bias)
+                // bound the next step; never below the base step.
+                if adaptive {
+                    let mut hint = f64::INFINITY;
+                    for dev in circuit.devices.iter() {
+                        if let Some(h) = dev.max_timestep() {
+                            hint = hint.min(h);
+                        }
+                    }
+                    if hint.is_finite() {
+                        cur_dt = cur_dt.min(hint.max(opts.dt));
+                    }
+                }
             }
             {
                 let ctx = CommitCtx {
@@ -348,10 +627,21 @@ impl Transient {
                 }
                 store.push_sample(t_next, &ctx, &pin_energy);
             }
+            if adaptive {
+                hist = Some((x_accepted_prev, dt));
+                // Waveform slopes are discontinuous at breakpoints:
+                // restart the controller there so the following edge is
+                // resolved at the base step again.
+                if t_next >= seg_end - t_eps && bp_iter.peek().is_some() {
+                    hist = None;
+                    cur_dt = opts.dt;
+                }
+            }
             t = t_next;
-            steps += 1;
+            stats.accepted += 1;
         }
 
-        Ok(store.finish(pin_energy, device_energy, max_kcl, newton_iters, steps))
+        record_global_steps(stats);
+        Ok(store.finish(pin_energy, device_energy, max_kcl, stats))
     }
 }

@@ -100,6 +100,21 @@ pub trait Device: Any + std::fmt::Debug + Send {
         Vec::new()
     }
 
+    /// Upper bound on the *next* time step (seconds), or `None` for no
+    /// preference.
+    ///
+    /// Queried by the adaptive step controller after each accepted step
+    /// (fixed stepping ignores it). Devices whose internal state evolves on
+    /// its own clock — e.g. ferroelectric polarization relaxing under a
+    /// constant bias, invisible to the node-voltage truncation-error
+    /// estimate — should return a bound here while that state is moving,
+    /// and `None` once it has settled. The controller never shrinks below
+    /// the base step on account of this hint, so a conservative bound is
+    /// safe.
+    fn max_timestep(&self) -> Option<f64> {
+        None
+    }
+
     /// SPICE-deck line(s) describing this device, if expressible, for
     /// [`crate::export_spice`]. `names` maps node ids to netlist names and
     /// `label` is the device's instance label.

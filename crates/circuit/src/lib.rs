@@ -13,8 +13,11 @@
 //!   vector for speed and robustness.
 //! * **DC operating point** — Newton–Raphson with `gmin` stepping.
 //! * **Transient analysis** — backward-Euler (default) or trapezoidal
-//!   integration, fixed base step with breakpoint alignment on source edges
-//!   and automatic step halving when Newton fails to converge.
+//!   integration with breakpoint alignment on source edges and automatic
+//!   step halving when Newton fails to converge. Stepping is fixed-step by
+//!   default or truncation-error controlled
+//!   ([`analysis::StepControl::Adaptive`]), which grows the step across
+//!   flat waveform regions and shrinks it on fast edges.
 //! * **Measurement** — voltage probes on any node, per-pinned-source current
 //!   traces, and energy accounting (∫V·I dt per supply, per-device
 //!   dissipation), which is the core observable of the TCAM evaluation.
@@ -62,11 +65,12 @@ mod spice;
 mod stamp;
 pub mod waveform;
 
+pub use analysis::{NewtonSettings, StepControl};
 pub use circuit::{Circuit, PinId};
 pub use device::{Device, DeviceId};
 pub use error::CircuitError;
 pub use node::NodeId;
-pub use probe::{Edge, Trace, TransientResult};
+pub use probe::{global_step_stats, Edge, StepStats, Trace, TransientResult};
 pub(crate) use spice::spice_waveform;
 pub use spice::{export_spice, format_spice_number};
 pub use stamp::{CommitCtx, IntegrationMethod, StampCtx};

@@ -1,11 +1,99 @@
-//! Transient results: traces, measurements and energy reports.
+//! Transient results: traces, measurements, step statistics and energy
+//! reports.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
 
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
 use crate::node::NodeId;
 use crate::stamp::CommitCtx;
+
+/// Step-acceptance and iteration statistics of a transient run.
+///
+/// Under [`crate::analysis::StepControl::Fixed`] every attempted step is
+/// either accepted or halved on Newton divergence (`rejected` stays 0);
+/// under the adaptive policy, steps whose estimated truncation error
+/// exceeds the tolerance are counted in `rejected` and retried smaller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Steps accepted (device state committed, sample recorded).
+    pub accepted: u64,
+    /// Converged solves rejected by the truncation-error test.
+    pub rejected: u64,
+    /// Step halvings forced by Newton divergence.
+    pub halvings: u64,
+    /// Newton iterations across all attempts (accepted or not).
+    pub newton_iters: u64,
+}
+
+impl StepStats {
+    /// Counter-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &StepStats) -> StepStats {
+        StepStats {
+            accepted: self.accepted - earlier.accepted,
+            rejected: self.rejected - earlier.rejected,
+            halvings: self.halvings - earlier.halvings,
+            newton_iters: self.newton_iters - earlier.newton_iters,
+        }
+    }
+
+    /// Total Newton-converged solve attempts (accepted + rejected).
+    #[must_use]
+    pub fn attempts(&self) -> u64 {
+        self.accepted + self.rejected
+    }
+}
+
+impl std::ops::AddAssign for StepStats {
+    fn add_assign(&mut self, other: Self) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.halvings += other.halvings;
+        self.newton_iters += other.newton_iters;
+    }
+}
+
+impl std::ops::Add for StepStats {
+    type Output = StepStats;
+
+    fn add(mut self, other: Self) -> StepStats {
+        self += other;
+        self
+    }
+}
+
+static GLOBAL_ACCEPTED: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_REJECTED: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_HALVINGS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_NEWTON_ITERS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cumulative step statistics, summed over every transient
+/// run since process start.
+///
+/// Harnesses snapshot this before and after a workload and diff with
+/// [`StepStats::since`] to report solver effort without threading a
+/// counter through every layer. Counts from concurrent transients all land
+/// here, so deltas taken around a workload include any simulation running
+/// on other threads in the same interval.
+pub fn global_step_stats() -> StepStats {
+    StepStats {
+        accepted: GLOBAL_ACCEPTED.load(Ordering::Relaxed),
+        rejected: GLOBAL_REJECTED.load(Ordering::Relaxed),
+        halvings: GLOBAL_HALVINGS.load(Ordering::Relaxed),
+        newton_iters: GLOBAL_NEWTON_ITERS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_global_steps(stats: StepStats) {
+    GLOBAL_ACCEPTED.fetch_add(stats.accepted, Ordering::Relaxed);
+    GLOBAL_REJECTED.fetch_add(stats.rejected, Ordering::Relaxed);
+    GLOBAL_HALVINGS.fetch_add(stats.halvings, Ordering::Relaxed);
+    GLOBAL_NEWTON_ITERS.fetch_add(stats.newton_iters, Ordering::Relaxed);
+}
 
 /// Signal edge direction for threshold-crossing measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,8 +334,7 @@ impl TraceStore {
         pin_energy: Vec<f64>,
         device_energy: Vec<f64>,
         max_kcl_residual: f64,
-        newton_iterations: usize,
-        steps: usize,
+        stats: StepStats,
     ) -> TransientResult {
         TransientResult {
             times: self.times,
@@ -264,8 +351,7 @@ impl TraceStore {
             device_label_index: self.device_label_index,
             device_energy,
             max_kcl_residual,
-            newton_iterations,
-            steps,
+            stats,
         }
     }
 }
@@ -287,8 +373,7 @@ pub struct TransientResult {
     device_label_index: HashMap<String, usize>,
     device_energy: Vec<f64>,
     max_kcl_residual: f64,
-    newton_iterations: usize,
-    steps: usize,
+    stats: StepStats,
 }
 
 impl TransientResult {
@@ -299,12 +384,23 @@ impl TransientResult {
 
     /// Number of accepted steps.
     pub fn steps(&self) -> usize {
-        self.steps
+        self.stats.accepted as usize
+    }
+
+    /// Converged solves rejected by the adaptive truncation-error test
+    /// (always 0 under fixed stepping).
+    pub fn rejected_steps(&self) -> usize {
+        self.stats.rejected as usize
     }
 
     /// Total Newton iterations across the run.
     pub fn newton_iterations(&self) -> usize {
-        self.newton_iterations
+        self.stats.newton_iters as usize
+    }
+
+    /// The full step-acceptance and iteration statistics of the run.
+    pub fn step_stats(&self) -> StepStats {
+        self.stats
     }
 
     /// Worst KCL residual observed at any free node (amps) — an internal

@@ -73,7 +73,7 @@ proptest! {
         // Seed the node voltage too, so the t = 0 sample starts at v0
         // instead of the solver's zero guess.
         let opts = TransientOpts::new(tau / 50.0, 5.0 * tau)
-            .with_initial_voltages(std::collections::HashMap::from([(top, v0)]));
+            .with_initial_voltages([(top, v0)]);
         let res = Transient::new(opts).run(&mut ckt).unwrap();
         let tr = res.trace("top").unwrap();
         let values = tr.values();

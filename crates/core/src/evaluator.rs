@@ -49,6 +49,31 @@ impl Evaluator {
         self
     }
 
+    /// Sets the transient step-control policy for every simulation this
+    /// evaluator drives (builder style).
+    ///
+    /// The calibration cache bakes the timing in at construction, so the
+    /// cache is rebuilt (empty) with the updated policy; call this before
+    /// running experiments, not between them.
+    ///
+    /// ```
+    /// use ftcam_core::Evaluator;
+    /// use ftcam_cells::StepControl;
+    ///
+    /// let eval = Evaluator::quick().with_step_control(StepControl::adaptive());
+    /// assert!(eval.timing().step.is_adaptive());
+    /// ```
+    #[must_use]
+    pub fn with_step_control(mut self, step: ftcam_cells::StepControl) -> Self {
+        self.timing.step = step;
+        self.cache = CalibrationCache::new(
+            self.card.clone(),
+            self.geometry.clone(),
+            self.timing.clone(),
+        );
+        self
+    }
+
     /// The evaluation-default configuration (hp45 card, default clocking).
     pub fn standard() -> Self {
         Self::new(

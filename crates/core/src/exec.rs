@@ -18,6 +18,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use ftcam_array::CacheStats;
+use ftcam_circuit::StepStats;
 use serde::{Deserialize, Serialize};
 
 /// Shared accumulating counters for one [`Executor`] (usually owned by the
@@ -87,6 +88,13 @@ pub struct ExecStats {
     pub assemble_nanos: u64,
     /// Calibration-cache activity during the run.
     pub cache: CacheStats,
+    /// Transient solver step statistics during the run (accepted and
+    /// rejected steps, Newton halvings, total Newton iterations).
+    ///
+    /// Deltas of the **process-wide** counters, so concurrent simulations
+    /// from other threads in the same process bleed in; like the timing
+    /// fields, this is diagnostic, not deterministic.
+    pub steps: StepStats,
     /// Total wall-clock nanoseconds for the experiment.
     pub wall_nanos: u64,
 }

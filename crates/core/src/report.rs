@@ -464,6 +464,7 @@ mod tests {
             run_nanos: 1_000,
             assemble_nanos: 10,
             cache: Default::default(),
+            steps: Default::default(),
             wall_nanos: 2_000,
         };
         let mut a = Artifact::Table(Table::new("t", "x", vec![]));

@@ -101,11 +101,17 @@ pub struct FeFet {
     cgd: CapState,
     cdb: CapState,
     csb: CapState,
-    /// Ferroelectric displacement current from the last committed step
-    /// (gate → source), injected with one-step lag.
-    i_fe_lag: f64,
+    /// Ferroelectric switching charge from the last committed step
+    /// (coulombs, gate → source), injected during the next step as a
+    /// current `q / dt`. Dividing by the *live* step's `dt` at stamp time
+    /// conserves the charge exactly even when the adaptive controller
+    /// changes the step length between the two steps.
+    q_fe_lag: f64,
     /// Cumulative ferroelectric switching energy drawn at the gate (joules).
     switching_energy: f64,
+    /// Adaptive-stepping bound while the polarization is actively moving
+    /// (see [`ftcam_circuit::Device::max_timestep`]).
+    dt_hint: Option<f64>,
 }
 
 impl FeFet {
@@ -125,8 +131,9 @@ impl FeFet {
             cgd,
             cdb,
             csb,
-            i_fe_lag: 0.0,
+            q_fe_lag: 0.0,
             switching_energy: 0.0,
+            dt_hint: None,
         }
     }
 
@@ -225,8 +232,10 @@ impl Device for FeFet {
         self.cdb.stamp(ctx, self.drain, NodeId::GROUND);
         self.csb.stamp(ctx, self.source, NodeId::GROUND);
         // Lagged ferroelectric displacement current (gate → source).
-        if !ctx.is_dc() && self.i_fe_lag != 0.0 {
-            ctx.stamp_current(self.gate, self.source, self.i_fe_lag);
+        if !ctx.is_dc() && self.q_fe_lag != 0.0 {
+            if let Some(dt) = ctx.dt() {
+                ctx.stamp_current(self.gate, self.source, self.q_fe_lag / dt);
+            }
         }
     }
 
@@ -241,11 +250,29 @@ impl Device for FeFet {
             let dp = self.polarization.advance(&self.params.ferro, v_fe, dt);
             // Switching charge flows through the gate: q = P_r·A·dp.
             let q = self.params.remanent_polarization * self.params.fe_area * dp;
-            self.i_fe_lag = q / dt;
+            self.q_fe_lag = q;
             self.switching_energy += q * vgs;
+            // While the polarization is moving, bound the next step so a
+            // single step cannot absorb more than a small fraction of the
+            // full swing: the lagged displacement current and the supply
+            // energy trapezoid both sample at step boundaries, so large
+            // steps through an active switching transient would smear the
+            // switching current beyond recognition. Settled devices
+            // (|dp| ≈ 0, the common case in search cycles) impose nothing.
+            const MAX_DP_PER_STEP: f64 = 0.01;
+            self.dt_hint = if dp.abs() > 1e-6 {
+                Some(dt * MAX_DP_PER_STEP / dp.abs())
+            } else {
+                None
+            };
         } else {
-            self.i_fe_lag = 0.0;
+            self.q_fe_lag = 0.0;
+            self.dt_hint = None;
         }
+    }
+
+    fn max_timestep(&self) -> Option<f64> {
+        self.dt_hint
     }
 
     fn init(&mut self, ctx: &CommitCtx<'_>, _uic: bool) {
@@ -253,7 +280,8 @@ impl Device for FeFet {
         self.cgd.init(ctx, self.gate, self.drain);
         self.cdb.init(ctx, self.drain, NodeId::GROUND);
         self.csb.init(ctx, self.source, NodeId::GROUND);
-        self.i_fe_lag = 0.0;
+        self.q_fe_lag = 0.0;
+        self.dt_hint = None;
     }
 
     fn is_nonlinear(&self) -> bool {

@@ -133,3 +133,38 @@ fn mosfet_inverter_switches_rail_to_rail() {
     assert!(out.value_at(2.5e-9) < 0.05, "low output during the pulse");
     assert!(out.value_at(4.5e-9) > 0.75, "recovers after the pulse");
 }
+
+#[test]
+fn adaptive_write_matches_fixed_energy_within_one_percent() {
+    use ftcam_circuit::analysis::StepControl;
+    let run_write = |step: StepControl| {
+        let (mut ckt, dev, pin) = fefet_fixture();
+        ckt.device_mut::<FeFet>(dev).unwrap().program_bit(false);
+        ckt.set_pin_waveform(pin, Waveform::pulse(0.0, 4.0, 1e-9, 0.5e-9, 0.5e-9, 30e-9));
+        let res = Transient::new(TransientOpts::new(0.1e-9, 35e-9).with_step_control(step))
+            .run(&mut ckt)
+            .unwrap();
+        let fefet = ckt.device_ref::<FeFet>(dev).unwrap();
+        (
+            fefet.polarization(),
+            fefet.switching_energy(),
+            res.supply_energy("GATE").unwrap(),
+            res.steps(),
+        )
+    };
+    let (pf, swf, gf, nf) = run_write(StepControl::Fixed);
+    let (pa, swa, ga, na) = run_write(StepControl::adaptive());
+    assert!(pa > 0.9, "adaptive write failed to program: p = {pa}");
+    assert!((pf - pa).abs() < 0.01, "polarization: {pf} vs {pa}");
+    assert!(
+        (swf - swa).abs() / swf < 0.01,
+        "switching energy: fixed {swf:e} vs adaptive {swa:e}"
+    );
+    assert!(
+        (gf - ga).abs() / gf < 0.01,
+        "gate energy: fixed {gf:e} vs adaptive {ga:e}"
+    );
+    // The FeFET's max_timestep hint throttles growth while the polarization
+    // moves, but the long settled tail still wins well over 2×.
+    assert!(na * 2 <= nf, "adaptive {na} vs fixed {nf} accepted steps");
+}

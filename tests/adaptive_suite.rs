@@ -1,0 +1,88 @@
+//! End-to-end accuracy of LTE-controlled adaptive stepping on real
+//! experiment drivers: the artefacts must numerically agree with the
+//! fixed-step reference while taking at least 2× fewer accepted steps.
+//!
+//! This file intentionally holds a single `#[test]`. The per-run step
+//! counts come from process-wide counters (see
+//! `ftcam_circuit::global_step_stats`), so concurrent tests in the same
+//! binary would bleed into each other's deltas.
+
+use ftcam::core::{experiments, Evaluator};
+use ftcam_cells::StepControl;
+use serde::{Serialize, Value};
+
+/// Numeric agreement: 1% relative, or negligible against the largest
+/// magnitude seen anywhere in the artefact (waveform tails decay to
+/// µV-scale samples where relative error is meaningless).
+fn assert_close(a: &Value, b: &Value, scale: f64, path: &str) {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => {
+            let (x, y) = (x.as_f64(), y.as_f64());
+            let diff = (x - y).abs();
+            let rel = diff / x.abs().max(y.abs()).max(1e-30);
+            assert!(
+                rel < 0.01 || diff < 1e-3 * scale,
+                "{path}: fixed {x:e} vs adaptive {y:e} ({:.2}% off)",
+                rel * 100.0
+            );
+        }
+        (Value::Seq(xs), Value::Seq(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "{path}: array length");
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                assert_close(x, y, scale, &format!("{path}[{i}]"));
+            }
+        }
+        (Value::Map(xs), Value::Map(ys)) => {
+            for ((kx, x), (ky, y)) in xs.iter().zip(ys) {
+                assert_eq!(kx, ky, "{path}: object keys");
+                assert_close(x, y, scale, &format!("{path}.{kx}"));
+            }
+            assert_eq!(xs.len(), ys.len(), "{path}: object size");
+        }
+        _ => assert_eq!(a, b, "{path}: non-numeric mismatch"),
+    }
+}
+
+/// Largest |number| in the artefact, used as the absolute-tolerance scale.
+fn max_abs(v: &Value) -> f64 {
+    match v {
+        Value::Num(x) => x.as_f64().abs(),
+        Value::Seq(xs) => xs.iter().map(max_abs).fold(0.0, f64::max),
+        Value::Map(xs) => xs.iter().map(|(_, x)| max_abs(x)).fold(0.0, f64::max),
+        _ => 0.0,
+    }
+}
+
+#[test]
+fn adaptive_suite_matches_fixed_at_twice_fewer_steps() {
+    // Two structurally different drivers: per-design fan-out (table1)
+    // and a flattened design×width grid (fig4).
+    for id in ["table1", "fig4"] {
+        let fixed_eval = Evaluator::quick().with_threads(1);
+        let mut fixed = experiments::run_by_id(&fixed_eval, id, false)
+            .unwrap_or_else(|e| panic!("{id} (fixed) failed: {e}"));
+
+        let adaptive_eval = Evaluator::quick()
+            .with_threads(1)
+            .with_step_control(StepControl::adaptive());
+        let mut adaptive = experiments::run_by_id(&adaptive_eval, id, false)
+            .unwrap_or_else(|e| panic!("{id} (adaptive) failed: {e}"));
+
+        let fixed_steps = fixed.clear_exec().expect("exec stats attached").steps;
+        let adaptive_steps = adaptive.clear_exec().expect("exec stats attached").steps;
+        assert_eq!(
+            fixed_steps.rejected, 0,
+            "{id}: fixed stepping never rejects"
+        );
+        assert!(
+            adaptive_steps.accepted * 2 <= fixed_steps.accepted,
+            "{id}: adaptive {} vs fixed {} accepted steps",
+            adaptive_steps.accepted,
+            fixed_steps.accepted
+        );
+
+        let fj = fixed.to_value();
+        let aj = adaptive.to_value();
+        assert_close(&fj, &aj, max_abs(&fj), id);
+    }
+}
