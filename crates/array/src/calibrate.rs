@@ -346,7 +346,15 @@ impl CalibrationCache {
     pub fn get(&self, kind: DesignKind, width: usize) -> Result<RowCalibration, CellError> {
         let key = (kind, width);
         let (slot, owner) = {
-            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            // A panic inside a calibration poisons only that shard's lock;
+            // the map it guards is still structurally sound (the panicking
+            // holder at most inserted an unfinished slot, and unfinished
+            // slots are re-initialised below), so recover instead of
+            // wedging every later lookup that hashes here.
+            let mut shard = self
+                .shard(&key)
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             match shard.get(&key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {

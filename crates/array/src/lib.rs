@@ -47,6 +47,8 @@ pub use array::{ArrayModel, ArrayParams};
 pub use calibrate::{
     calibrate_row, CacheStats, CalibrationCache, RowCalibration, StageCalibration,
 };
-pub use montecarlo::{run_variation_mc, McResult, VariationParams};
+#[cfg(feature = "fault-injection")]
+pub use montecarlo::run_variation_mc_with_newton;
+pub use montecarlo::{run_variation_mc, McResult, McSolverFailure, VariationParams};
 pub use periph::PeripheralModel;
 pub use standby::{Retention, StandbyProfile};

@@ -6,9 +6,21 @@
 //! independent Gaussian V_th shifts to every FeFET, then measures the sense
 //! margin of a full match and of a single-bit mismatch — the worst-case
 //! pair that brackets a search failure.
+//!
+//! # Partial results
+//!
+//! Extreme σ(V_th) sweeps deliberately push the solver into regimes where
+//! some samples diverge. A diverging (or even panicking) sample must not
+//! cost the other N−1: each sample runs under panic isolation and failures
+//! are reported per sample in [`McResult::solver_failures`], *distinct*
+//! from decision failures (a converged sample whose search decided
+//! wrongly). Margin vectors hold the surviving samples only, in sample
+//! order, so results stay bit-identical for any thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crossbeam::thread;
-use ftcam_cells::{CellError, DesignKind, Geometry, RowTestbench, SearchTiming};
+use ftcam_cells::{CellError, DesignKind, Geometry, NewtonSettings, RowTestbench, SearchTiming};
 use ftcam_devices::TechCard;
 use ftcam_workloads::{Ternary, TernaryWord};
 use rand::{Rng, SeedableRng};
@@ -39,31 +51,51 @@ impl Default for VariationParams {
     }
 }
 
+/// A sample that produced no decision: the transistor-level solve failed
+/// (divergence, step underflow) or the worker panicked.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McSolverFailure {
+    /// Zero-based sample index (stable across thread counts).
+    pub sample: usize,
+    /// The rendered error or panic message.
+    pub error: String,
+}
+
 /// Monte-Carlo outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct McResult {
-    /// Sense margins of the full-match searches (volts).
+    /// Sense margins of the full-match searches (volts), surviving samples
+    /// only, in sample order.
     pub match_margins: Vec<f64>,
-    /// Sense margins of the 1-bit-mismatch searches (volts).
+    /// Sense margins of the 1-bit-mismatch searches (volts), aligned with
+    /// `match_margins`.
     pub mismatch_margins: Vec<f64>,
-    /// Samples where either decision was wrong.
+    /// Surviving samples where either search decision was wrong.
     pub failures: usize,
-    /// Total samples evaluated.
+    /// Total samples attempted (survivors + solver failures).
     pub samples: usize,
+    /// Samples lost to solver failures or worker panics, by index.
+    pub solver_failures: Vec<McSolverFailure>,
 }
 
 impl McResult {
-    /// Search failure rate in `[0, 1]`.
-    pub fn failure_rate(&self) -> f64 {
-        if self.samples == 0 {
-            return 0.0;
-        }
-        self.failures as f64 / self.samples as f64
+    /// Samples that produced a decision (attempted minus solver failures).
+    pub fn evaluated(&self) -> usize {
+        self.samples - self.solver_failures.len()
     }
 
-    /// Mean of the worst (minimum) per-sample margin.
+    /// Search failure rate among evaluated samples, in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        if self.evaluated() == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.evaluated() as f64
+    }
+
+    /// Mean of the worst (minimum) per-sample margin over evaluated
+    /// samples.
     pub fn mean_worst_margin(&self) -> f64 {
-        if self.samples == 0 {
+        if self.evaluated() == 0 {
             return 0.0;
         }
         self.match_margins
@@ -71,7 +103,7 @@ impl McResult {
             .zip(&self.mismatch_margins)
             .map(|(a, b)| a.min(*b))
             .sum::<f64>()
-            / self.samples as f64
+            / self.evaluated() as f64
     }
 
     /// Mean and standard deviation of the match margins.
@@ -107,15 +139,30 @@ fn gaussian<R: Rng>(rng: &mut R) -> f64 {
     }
 }
 
+/// Renders a panic payload the way the panic hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// `(match margin, mismatch margin, decision failed)` or a rendered error.
+type SampleOutcome = Result<(f64, f64, bool), String>;
+
 /// Runs the variation Monte Carlo for one design.
 ///
 /// Only FeFET-based designs expose a threshold-shift knob; other designs
-/// return an error.
+/// return an error. Per-sample solver failures and panics do **not** fail
+/// the run — they are collected in [`McResult::solver_failures`] while
+/// every surviving sample contributes its full margin pair.
 ///
 /// # Errors
 ///
 /// * [`CellError::UnsupportedOperation`] for non-FeFET designs.
-/// * Simulation failures from the row testbench.
 pub fn run_variation_mc(
     kind: DesignKind,
     card: &TechCard,
@@ -123,6 +170,44 @@ pub fn run_variation_mc(
     timing: &SearchTiming,
     width: usize,
     params: &VariationParams,
+) -> Result<McResult, CellError> {
+    run_variation_mc_inner(kind, card, geometry, timing, width, params, &|_| {
+        NewtonSettings::default()
+    })
+}
+
+/// [`run_variation_mc`] with a per-sample Newton-settings override — the
+/// chaos-test entry point for injecting solver faults into selected
+/// samples (see `ftcam_cells::FaultPlan`).
+#[cfg(feature = "fault-injection")]
+pub fn run_variation_mc_with_newton(
+    kind: DesignKind,
+    card: &TechCard,
+    geometry: &Geometry,
+    timing: &SearchTiming,
+    width: usize,
+    params: &VariationParams,
+    newton_for_sample: &(dyn Fn(usize) -> NewtonSettings + Sync),
+) -> Result<McResult, CellError> {
+    run_variation_mc_inner(
+        kind,
+        card,
+        geometry,
+        timing,
+        width,
+        params,
+        newton_for_sample,
+    )
+}
+
+fn run_variation_mc_inner(
+    kind: DesignKind,
+    card: &TechCard,
+    geometry: &Geometry,
+    timing: &SearchTiming,
+    width: usize,
+    params: &VariationParams,
+    newton_for_sample: &(dyn Fn(usize) -> NewtonSettings + Sync),
 ) -> Result<McResult, CellError> {
     if kind.instantiate().features().segments > 1 {
         // Supported, but margins come from the first segment only; keep the
@@ -151,9 +236,37 @@ pub fn run_variation_mc(
         q
     };
 
+    // One closed-over sample evaluation, panic-isolated at the call site.
+    let eval_sample = |s: usize| -> Result<(f64, f64, bool), CellError> {
+        // Deterministic per-sample stream, independent of the thread
+        // partition.
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ (s as u64).wrapping_mul(0x9e37_79b9));
+        let mut row = RowTestbench::new(kind.instantiate(), card.clone(), geometry.clone(), width)?;
+        row.set_newton_settings(newton_for_sample(s));
+        row.program_word(&stored)?;
+        let deltas: Vec<f64> = (0..2 * width)
+            .map(|_| params.sigma_vth * gaussian(&mut rng))
+            .collect();
+        row.apply_fefet_vth_shift(&deltas);
+
+        let hit = row.search(&stored, timing)?;
+        let m_hit = if hit.matched {
+            hit.sense_margin
+        } else {
+            -hit.sense_margin
+        };
+        let missr = row.search(&miss, timing)?;
+        let m_miss = if missr.matched {
+            -missr.sense_margin
+        } else {
+            missr.sense_margin
+        };
+        Ok((m_hit, m_miss, !hit.matched || missr.matched))
+    };
+
     let threads = params.threads.clamp(1, params.samples.max(1));
     let chunk = params.samples.div_ceil(threads);
-    let results = thread::scope(|scope| {
+    let outcomes: Vec<SampleOutcome> = thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let begin = t * chunk;
@@ -161,69 +274,69 @@ pub fn run_variation_mc(
             if begin >= end {
                 break;
             }
-            let stored = stored.clone();
-            let miss = miss.clone();
-            handles.push(scope.spawn(move |_| -> Result<_, CellError> {
-                let mut match_margins = Vec::with_capacity(end - begin);
-                let mut mismatch_margins = Vec::with_capacity(end - begin);
-                let mut failures = 0usize;
-                for s in begin..end {
-                    // Deterministic per-sample stream, independent of the
-                    // thread partition.
-                    let mut rng = ChaCha8Rng::seed_from_u64(
-                        params.seed ^ (s as u64).wrapping_mul(0x9e37_79b9),
-                    );
-                    let mut row = RowTestbench::new(
-                        kind.instantiate(),
-                        card.clone(),
-                        geometry.clone(),
-                        width,
-                    )?;
-                    row.program_word(&stored)?;
-                    let deltas: Vec<f64> = (0..2 * width)
-                        .map(|_| params.sigma_vth * gaussian(&mut rng))
-                        .collect();
-                    row.apply_fefet_vth_shift(&deltas);
-
-                    let hit = row.search(&stored, timing)?;
-                    let m_hit = if hit.matched {
-                        hit.sense_margin
-                    } else {
-                        -hit.sense_margin
-                    };
-                    let missr = row.search(&miss, timing)?;
-                    let m_miss = if missr.matched {
-                        -missr.sense_margin
-                    } else {
-                        missr.sense_margin
-                    };
-                    if !hit.matched || missr.matched {
-                        failures += 1;
-                    }
-                    match_margins.push(m_hit);
-                    mismatch_margins.push(m_miss);
+            let eval_sample = &eval_sample;
+            let handle = scope.spawn(move |_| -> Vec<SampleOutcome> {
+                (begin..end)
+                    .map(
+                        |s| match catch_unwind(AssertUnwindSafe(|| eval_sample(s))) {
+                            Ok(Ok(v)) => Ok(v),
+                            Ok(Err(e)) => Err(e.to_string()),
+                            Err(payload) => {
+                                Err(format!("sample panicked: {}", panic_message(&*payload)))
+                            }
+                        },
+                    )
+                    .collect()
+            });
+            handles.push((begin, end, handle));
+        }
+        // Chunks are pushed and joined in sample order, so the assembled
+        // vector is index-ordered regardless of thread interleaving. A
+        // worker that dies outside the per-sample isolation (should be
+        // unreachable) forfeits its whole chunk as per-sample failures
+        // rather than aborting the process.
+        let mut all = Vec::with_capacity(params.samples);
+        for (begin, end, handle) in handles {
+            match handle.join() {
+                Ok(chunk_outcomes) => all.extend(chunk_outcomes),
+                Err(payload) => {
+                    let msg = format!("mc worker panicked: {}", panic_message(&*payload));
+                    all.extend((begin..end).map(|_| Err(msg.clone())));
                 }
-                Ok((match_margins, mismatch_margins, failures))
-            }));
+            }
         }
-        let mut match_margins = Vec::with_capacity(params.samples);
-        let mut mismatch_margins = Vec::with_capacity(params.samples);
-        let mut failures = 0usize;
-        for h in handles {
-            let (mm, sm, f) = h.join().expect("mc worker panicked")?;
-            match_margins.extend(mm);
-            mismatch_margins.extend(sm);
-            failures += f;
-        }
-        Ok::<_, CellError>(McResult {
-            samples: match_margins.len(),
-            match_margins,
-            mismatch_margins,
-            failures,
-        })
+        all
     })
-    .expect("mc scope panicked")?;
-    Ok(results)
+    .unwrap_or_else(|payload| {
+        // The scope closure itself cannot panic (joins are handled above),
+        // but degrade to all-failed rather than aborting if it ever does.
+        let msg = format!("mc scope panicked: {}", panic_message(&*payload));
+        (0..params.samples).map(|_| Err(msg.clone())).collect()
+    });
+
+    let mut match_margins = Vec::with_capacity(params.samples);
+    let mut mismatch_margins = Vec::with_capacity(params.samples);
+    let mut failures = 0usize;
+    let mut solver_failures = Vec::new();
+    for (sample, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok((m_hit, m_miss, decision_failed)) => {
+                match_margins.push(m_hit);
+                mismatch_margins.push(m_miss);
+                if decision_failed {
+                    failures += 1;
+                }
+            }
+            Err(error) => solver_failures.push(McSolverFailure { sample, error }),
+        }
+    }
+    Ok(McResult {
+        match_margins,
+        mismatch_margins,
+        failures,
+        samples: params.samples,
+        solver_failures,
+    })
 }
 
 #[cfg(test)]
@@ -257,7 +370,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.samples, 3);
+        assert_eq!(r.evaluated(), 3);
         assert_eq!(r.failures, 0);
+        assert!(r.solver_failures.is_empty());
         assert!(r.mean_worst_margin() > 0.0);
         // All samples identical at σ = 0.
         let (_, std) = r.match_margin_stats();
@@ -314,5 +429,6 @@ mod tests {
         let b = run_variation_mc(DesignKind::FeFet2T, &card, &geo, &t, 8, &mk(4)).unwrap();
         assert_eq!(a.match_margins, b.match_margins);
         assert_eq!(a.failures, b.failures);
+        assert_eq!(a.solver_failures, b.solver_failures);
     }
 }

@@ -16,7 +16,13 @@
 //!                fig2 fig3 table1 fig4 fig5 fig6 fig7 fig8 table2 fig9
 //!                fig10 table3
 //! ```
+//!
+//! Execution is fault tolerant: a failing or panicking experiment never
+//! costs the artifacts of the others. Every survivor is printed and saved,
+//! then failures are enumerated on a machine-readable `_failures:` line
+//! and the process exits nonzero.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -24,6 +30,17 @@ use std::time::Instant;
 use ftcam_bench::{save_artifact, DEFAULT_OUT_DIR};
 use ftcam_cells::StepControl;
 use ftcam_core::{experiments, plot_figure, Artifact, Evaluator};
+
+/// Renders a panic payload the way the panic hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 fn main() -> ExitCode {
     let mut full = false;
@@ -83,10 +100,17 @@ fn main() -> ExitCode {
         eval.threads(),
         ids.len()
     );
-    let mut failed = false;
+    // Partial-results semantics: one failing (or even panicking)
+    // experiment never costs the artifacts of the others. Failures are
+    // collected and enumerated in a machine-readable summary at the end.
+    let mut failures: Vec<(String, String)> = Vec::new();
     for id in &ids {
         let started = Instant::now();
-        match experiments::run_by_id(&eval, id, full) {
+        let outcome: Result<Artifact, String> =
+            catch_unwind(AssertUnwindSafe(|| experiments::run_by_id(&eval, id, full)))
+                .map_err(|payload| format!("panicked: {}", panic_message(&*payload)))
+                .and_then(|r| r.map_err(|e| e.to_string()));
+        match outcome {
             Ok(artifact) => {
                 println!("{}", artifact.to_markdown());
                 if let Artifact::Figure(fig) = &artifact {
@@ -109,6 +133,16 @@ fn main() -> ExitCode {
                          {} Newton iteration(s)_",
                         s.steps.accepted, s.steps.rejected, s.steps.halvings, s.steps.newton_iters,
                     );
+                    if !s.recovery.is_clean() {
+                        println!(
+                            "_recovery: {} gmin retry(ies) / {} damped retry(ies) / \
+                             {} non-finite rejection(s); {} step(s) recovered_",
+                            s.recovery.gmin_retries,
+                            s.recovery.damped_retries,
+                            s.recovery.nonfinite,
+                            s.recovery.recovered_steps,
+                        );
+                    }
                 }
                 match save_artifact(&out_dir, &artifact) {
                     Ok(path) => println!(
@@ -118,19 +152,32 @@ fn main() -> ExitCode {
                     ),
                     Err(e) => {
                         eprintln!("failed to save {id}: {e}");
-                        failed = true;
+                        failures.push((id.clone(), format!("save failed: {e}")));
                     }
                 }
             }
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
-                failed = true;
+                failures.push((id.clone(), e));
             }
         }
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
+    if failures.is_empty() {
         ExitCode::SUCCESS
+    } else {
+        // Machine-readable summary: one `_failures:` line listing every
+        // experiment that produced no artifact, after all survivors have
+        // been printed and saved.
+        let summary: Vec<String> = failures
+            .iter()
+            .map(|(id, e)| format!("{id}={:?}", e))
+            .collect();
+        println!(
+            "_failures: {} of {} experiment(s) failed: {}_",
+            failures.len(),
+            ids.len(),
+            summary.join(" ")
+        );
+        ExitCode::FAILURE
     }
 }

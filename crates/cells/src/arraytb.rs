@@ -15,7 +15,7 @@
 use ftcam_circuit::analysis::{Transient, TransientOpts};
 use ftcam_circuit::elements::{Capacitor, Resistor};
 use ftcam_circuit::waveform::Waveform;
-use ftcam_circuit::{Circuit, NodeId, PinId, StepStats};
+use ftcam_circuit::{Circuit, NewtonSettings, NodeId, PinId, RecoveryStats, StepStats};
 use ftcam_devices::{Mosfet, TechCard};
 use ftcam_workloads::{TcamTable, TernaryWord};
 
@@ -59,6 +59,8 @@ pub struct ArrayTestbench {
     en_pin: Option<PinId>,
     stored: TcamTable,
     step_stats: StepStats,
+    recovery_stats: RecoveryStats,
+    newton: NewtonSettings,
 }
 
 impl ArrayTestbench {
@@ -204,6 +206,8 @@ impl ArrayTestbench {
             en_pin,
             stored: TcamTable::new(width),
             step_stats: StepStats::default(),
+            recovery_stats: RecoveryStats::default(),
+            newton: NewtonSettings::default(),
         })
     }
 
@@ -216,6 +220,17 @@ impl ArrayTestbench {
     /// testbench has run.
     pub fn step_stats(&self) -> StepStats {
         self.step_stats
+    }
+
+    /// Cumulative recovery-ladder statistics over every search this
+    /// testbench has run.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// Overrides the Newton solver settings for every subsequent search.
+    pub fn set_newton_settings(&mut self, newton: NewtonSettings) {
+        self.newton = newton;
     }
 
     /// The stored content as a golden-model table.
@@ -301,11 +316,13 @@ impl ArrayTestbench {
         let opts = TransientOpts::new(timing.dt, t_total)
             .use_initial_conditions()
             .with_step_control(timing.step)
+            .with_newton(self.newton)
             .record_nodes(self.ml_nodes.iter().copied());
         let result = Transient::new(opts)
             .run(&mut self.ckt)
             .map_err(CellError::from)?;
         self.step_stats += result.step_stats();
+        self.recovery_stats += result.recovery_stats();
 
         let t_sense = t_cycle + timing.t_precharge + timing.sense_offset;
         let mut row_matches = Vec::with_capacity(self.rows);

@@ -68,6 +68,10 @@ pub use row::{MlTrace, RowTestbench};
 pub use search::{SearchOutcome, SearchTiming, StageOutcome};
 pub use write::{WriteOutcome, WriteTiming};
 
-// Step-control policy and statistics, re-exported so downstream crates can
+// Solver knobs and statistics, re-exported so downstream crates can
 // configure the solver without depending on `ftcam-circuit` directly.
-pub use ftcam_circuit::{StepControl, StepStats};
+pub use ftcam_circuit::{NewtonSettings, RecoveryStats, StepControl, StepStats};
+
+// Fault-injection surface for chaos tests (see `ftcam_circuit::fault`).
+#[cfg(feature = "fault-injection")]
+pub use ftcam_circuit::fault::{FaultMode, FaultPlan};

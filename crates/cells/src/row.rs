@@ -3,7 +3,7 @@
 use ftcam_circuit::analysis::{RecordMode, Transient, TransientOpts};
 use ftcam_circuit::elements::{Capacitor, Resistor};
 use ftcam_circuit::waveform::Waveform;
-use ftcam_circuit::{Circuit, Edge, NodeId, PinId, StepStats};
+use ftcam_circuit::{Circuit, Edge, NewtonSettings, NodeId, PinId, RecoveryStats, StepStats};
 use ftcam_devices::{FeFet, Mosfet, MosfetParams, Polarity, TechCard};
 use ftcam_workloads::{Ternary, TernaryWord};
 
@@ -81,6 +81,8 @@ pub struct RowTestbench {
     segment_columns: Vec<Vec<usize>>,
     stored: TernaryWord,
     step_stats: StepStats,
+    recovery_stats: RecoveryStats,
+    newton: NewtonSettings,
 }
 
 impl RowTestbench {
@@ -268,6 +270,8 @@ impl RowTestbench {
             segment_columns,
             stored: TernaryWord::all_x(width),
             step_stats: StepStats::default(),
+            recovery_stats: RecoveryStats::default(),
+            newton: NewtonSettings::default(),
         })
     }
 
@@ -280,6 +284,25 @@ impl RowTestbench {
     /// testbench has run (searches, writes, calibration sweeps).
     pub fn step_stats(&self) -> StepStats {
         self.step_stats
+    }
+
+    /// Cumulative recovery-ladder statistics over every operation this
+    /// testbench has run (all-zero unless the solver needed the ladder).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// The Newton solver settings applied to every transient this
+    /// testbench runs.
+    pub fn newton_settings(&self) -> NewtonSettings {
+        self.newton
+    }
+
+    /// Overrides the Newton solver settings (tolerances, damping, `gmin`,
+    /// and — under the `fault-injection` feature — an injected fault plan)
+    /// for every subsequent operation.
+    pub fn set_newton_settings(&mut self, newton: NewtonSettings) {
+        self.newton = newton;
     }
 
     /// The design under test.
@@ -430,11 +453,13 @@ impl RowTestbench {
             let opts = TransientOpts::new(timing.dt, t_total)
                 .use_initial_conditions()
                 .with_step_control(timing.step)
+                .with_newton(self.newton)
                 .record_nodes([self.ml_nodes[seg]]);
             let result = Transient::new(opts)
                 .run(&mut self.ckt)
                 .map_err(CellError::from)?;
             self.step_stats += result.step_stats();
+            self.recovery_stats += result.recovery_stats();
 
             // --- Measure the steady-state (second) cycle ---------------------
             let ml = result.trace(&self.ml_names[seg]).map_err(CellError::from)?;
@@ -601,11 +626,13 @@ impl RowTestbench {
         let opts = TransientOpts::new(timing.dt, t_total)
             .use_initial_conditions()
             .with_step_control(timing.step)
+            .with_newton(self.newton)
             .with_record(RecordMode::None);
         let result = Transient::new(opts)
             .run(&mut self.ckt)
             .map_err(CellError::from)?;
         self.step_stats += result.step_stats();
+        self.recovery_stats += result.recovery_stats();
 
         // Collect outcomes.
         let mut polarizations = Vec::with_capacity(2 * self.width);
@@ -784,11 +811,13 @@ impl RowTestbench {
         let opts = TransientOpts::new(timing.dt, t_total)
             .use_initial_conditions()
             .with_step_control(timing.step)
+            .with_newton(self.newton)
             .record_nodes([self.ml_nodes[seg]]);
         let result = Transient::new(opts)
             .run(&mut self.ckt)
             .map_err(CellError::from)?;
         self.step_stats += result.step_stats();
+        self.recovery_stats += result.recovery_stats();
         let ml = result.trace(&self.ml_names[seg]).map_err(CellError::from)?;
         let eval_start = t_cycle + timing.t_precharge;
         let t_sense = eval_start + timing.sense_offset;

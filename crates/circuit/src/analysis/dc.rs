@@ -153,7 +153,9 @@ pub(crate) fn solve_dc(
         &mut ws,
     ) {
         Ok(iters) => return Ok((x, iters)),
-        Err(CircuitError::NewtonDiverged { .. }) | Err(CircuitError::SingularMatrix { .. }) => {}
+        Err(CircuitError::NewtonDiverged { .. })
+        | Err(CircuitError::SingularMatrix { .. })
+        | Err(CircuitError::NonFiniteSolution { .. }) => {}
         Err(e) => return Err(e),
     }
 

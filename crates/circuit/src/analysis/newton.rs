@@ -39,6 +39,10 @@ pub struct NewtonSettings {
     pub max_voltage_step: f64,
     /// Shunt conductance from every free node to ground.
     pub gmin: f64,
+    /// Deterministic fault to inject into every solve (chaos tests only;
+    /// see [`crate::fault`]).
+    #[cfg(feature = "fault-injection")]
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for NewtonSettings {
@@ -50,6 +54,8 @@ impl Default for NewtonSettings {
             max_iters: 120,
             max_voltage_step: 0.5,
             gmin: 1e-12,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         }
     }
 }
@@ -81,6 +87,15 @@ impl NewtonSettings {
     #[must_use]
     pub fn with_gmin(mut self, gmin: f64) -> Self {
         self.gmin = gmin;
+        self
+    }
+
+    /// Attaches a deterministic fault plan consulted by every solve
+    /// (chaos tests only; see [`crate::fault`]).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault(mut self, fault: crate::fault::FaultPlan) -> Self {
+        self.fault = Some(fault);
         self
     }
 }
@@ -128,6 +143,16 @@ pub(crate) fn solve(
     if n == 0 {
         return Ok(0);
     }
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &settings.fault {
+        plan.check_panic(time);
+        if plan.forces_divergence(time, dt, settings.gmin, settings.max_voltage_step) {
+            return Err(CircuitError::NewtonDiverged {
+                time,
+                iterations: 0,
+            });
+        }
+    }
     let max_iters = if circuit.has_nonlinear_devices() {
         settings.max_iters
     } else {
@@ -161,6 +186,21 @@ pub(crate) fn solve(
         }
         ws.x_new.copy_from_slice(&ws.rhs);
         ws.matrix.solve_in_place(&mut ws.x_new)?;
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &settings.fault {
+            if plan.injects_nan(time, dt) {
+                ws.x_new[0] = f64::NAN;
+            }
+        }
+        // A NaN/Inf in the update means a poisoned stamp or an overflowed
+        // companion model; iterating further only launders the garbage
+        // through the damped update, so fail structurally right here.
+        if ws.x_new.iter().any(|v| !v.is_finite()) {
+            return Err(CircuitError::NonFiniteSolution {
+                time,
+                iteration: iter,
+            });
+        }
 
         // Damped update + convergence check. Damping only matters for
         // nonlinear devices (it bounds the argument fed to exponentials);

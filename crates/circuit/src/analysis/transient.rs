@@ -9,7 +9,10 @@ use crate::analysis::newton::{self, NewtonSettings, NewtonWorkspace};
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
 use crate::node::NodeId;
-use crate::probe::{record_global_steps, StepStats, TraceStore, TransientResult};
+use crate::probe::{
+    record_global_recovery, record_global_steps, RecoveryStats, StepStats, TraceStore,
+    TransientResult,
+};
 use crate::stamp::{CommitCtx, IntegrationMethod, VarKind};
 
 /// How the initial state of a transient is established.
@@ -303,13 +306,128 @@ fn lte_ratio(
     worst
 }
 
+/// Multiplier applied to `gmin` by the first recovery rung.
+const RECOVERY_GMIN_ESCALATION: f64 = 1e3;
+
+/// Floor of the escalated `gmin` (siemens): small enough to be negligible
+/// against the µS-scale conductances of the TCAM circuits, large enough to
+/// regularise a transiently ill-conditioned Jacobian.
+const RECOVERY_GMIN_MIN: f64 = 1e-9;
+
+/// Factor applied to `max_voltage_step` by the damped-Newton rung.
+const RECOVERY_DAMPING_FACTOR: f64 = 0.1;
+
+/// `true` for failures the recovery ladder may be able to absorb.
+///
+/// `SingularMatrix` is included because the escalated-`gmin` rung
+/// regularises transiently singular Jacobians (e.g. a node left floating
+/// while every transistor on it is cut off); structural singularities
+/// survive the whole ladder and still surface as an error.
+fn recoverable(e: &CircuitError) -> bool {
+    matches!(
+        e,
+        CircuitError::NewtonDiverged { .. }
+            | CircuitError::NonFiniteSolution { .. }
+            | CircuitError::SingularMatrix { .. }
+    )
+}
+
+/// The in-step recovery ladder, tried in order before the caller falls
+/// back to halving `dt` (mirrors the DC `gmin` homotopy in `dc.rs`):
+///
+/// 1. **gmin escalation** — re-solve under a stiffened shunt
+///    (`gmin × 1e3`, at least [`RECOVERY_GMIN_MIN`]), then try to refine
+///    the converged point at the original `gmin`; if the refinement
+///    diverges again the shunted solution is kept (the extra shunt is
+///    negligible at circuit scale for a single step).
+/// 2. **damped Newton** — re-solve with `max_voltage_step × 0.1` and a
+///    doubled iteration budget, taming overshooting exponentials.
+///
+/// Each rung restarts from the last accepted state `x_base`; on success
+/// `x_try` holds the converged solution and the matching counter in
+/// `recovery` is bumped.
+#[allow(clippy::too_many_arguments)]
+fn recover_step(
+    circuit: &Circuit,
+    vars: &crate::stamp::VarMap,
+    x_base: &[f64],
+    x_try: &mut [f64],
+    pinned: &[f64],
+    t_next: f64,
+    dt: f64,
+    method: IntegrationMethod,
+    settings: &NewtonSettings,
+    ws: &mut NewtonWorkspace,
+    recovery: &mut RecoveryStats,
+) -> Result<usize, CircuitError> {
+    // Rung 1: escalated gmin.
+    let escalated = NewtonSettings {
+        gmin: (settings.gmin * RECOVERY_GMIN_ESCALATION).max(RECOVERY_GMIN_MIN),
+        ..*settings
+    };
+    x_try.copy_from_slice(x_base);
+    if let Ok(iters) = newton::solve(
+        circuit,
+        vars,
+        x_try,
+        pinned,
+        t_next,
+        Some(dt),
+        method,
+        &escalated,
+        ws,
+    ) {
+        recovery.gmin_retries += 1;
+        // Warm-started refinement at the true gmin; keep the shunted
+        // solution if the refinement still fails.
+        let mut x_refined = x_try.to_vec();
+        if let Ok(more) = newton::solve(
+            circuit,
+            vars,
+            &mut x_refined,
+            pinned,
+            t_next,
+            Some(dt),
+            method,
+            settings,
+            ws,
+        ) {
+            x_try.copy_from_slice(&x_refined);
+            return Ok(iters + more);
+        }
+        return Ok(iters);
+    }
+    // Rung 2: damped Newton. Smaller moves need more of them, so the
+    // iteration budget doubles.
+    let damped = NewtonSettings {
+        max_voltage_step: settings.max_voltage_step * RECOVERY_DAMPING_FACTOR,
+        max_iters: settings.max_iters * 2,
+        ..*settings
+    };
+    x_try.copy_from_slice(x_base);
+    let iters = newton::solve(
+        circuit,
+        vars,
+        x_try,
+        pinned,
+        t_next,
+        Some(dt),
+        method,
+        &damped,
+        ws,
+    )?;
+    recovery.damped_retries += 1;
+    Ok(iters)
+}
+
 /// The transient analysis.
 ///
 /// Breakpoint-aligned time stepping (steps land exactly on source edges)
 /// with two policies:
 ///
-/// * [`StepControl::Fixed`] — the base step everywhere, with automatic
-///   halving when Newton fails and recovery afterwards.
+/// * [`StepControl::Fixed`] — the base step everywhere, with the recovery
+///   ladder (escalated `gmin`, damped Newton, then step halving) absorbing
+///   Newton failures.
 /// * [`StepControl::Adaptive`] — local-truncation-error control: each
 ///   converged solve is compared against a divided-difference predictor
 ///   built from the accepted history; steps whose estimated error exceeds
@@ -325,7 +443,8 @@ fn lte_ratio(
 ///
 /// See the crate-level example and [`TransientOpts`] for usage; accepted /
 /// rejected / iteration counts are reported via
-/// [`TransientResult::step_stats`].
+/// [`TransientResult::step_stats`], and recovery-ladder activity via
+/// [`TransientResult::recovery_stats`].
 #[derive(Debug, Clone)]
 pub struct Transient {
     opts: TransientOpts,
@@ -425,6 +544,7 @@ impl Transient {
         let mut device_energy = vec![0.0; n_devices];
         let mut max_kcl = 0.0f64;
         let mut stats = StepStats::default();
+        let mut recovery = RecoveryStats::default();
 
         // Sample at t = 0.
         newton::measure_currents(
@@ -495,17 +615,19 @@ impl Transient {
                 continue;
             }
 
-            // Attempt the step: halve on Newton divergence, shrink on LTE
-            // rejection. Device state is only committed after acceptance.
-            // The floor is enforced where the step shrinks (Newton
-            // halving), not up front: a breakpoint segment legitimately
-            // shorter than `dt_min` must still be steppable.
+            // Attempt the step: climb the recovery ladder on solver
+            // failure (escalated gmin → damped Newton → halve dt), shrink
+            // on LTE rejection. Device state is only committed after
+            // acceptance. The floor is enforced where the step shrinks
+            // (Newton halving), not up front: a breakpoint segment
+            // legitimately shorter than `dt_min` must still be steppable.
             let mut x_try;
+            let mut step_recovered = false;
             loop {
                 let t_next = t + dt;
                 circuit.pinned_values_at(t_next, &mut pinned);
                 x_try = x.clone();
-                match newton::solve(
+                let mut attempt = newton::solve(
                     circuit,
                     &vars,
                     &mut x_try,
@@ -515,7 +637,31 @@ impl Transient {
                     opts.method,
                     &opts.newton,
                     &mut ws,
-                ) {
+                );
+                if let Err(e) = &attempt {
+                    if recoverable(e) {
+                        if matches!(e, CircuitError::NonFiniteSolution { .. }) {
+                            recovery.nonfinite += 1;
+                        }
+                        attempt = recover_step(
+                            circuit,
+                            &vars,
+                            &x,
+                            &mut x_try,
+                            &pinned,
+                            t_next,
+                            dt,
+                            opts.method,
+                            &opts.newton,
+                            &mut ws,
+                            &mut recovery,
+                        );
+                        if attempt.is_ok() {
+                            step_recovered = true;
+                        }
+                    }
+                }
+                match attempt {
                     Ok(iters) => {
                         stats.newton_iters += iters as u64;
                         if adaptive {
@@ -546,15 +692,21 @@ impl Transient {
                         }
                         break;
                     }
-                    Err(CircuitError::NewtonDiverged { .. }) => {
+                    Err(e) if recoverable(&e) => {
                         stats.halvings += 1;
+                        step_recovered = true;
                         dt *= 0.5;
                         if dt < dt_floor {
+                            record_global_steps(stats);
+                            record_global_recovery(recovery);
                             return Err(CircuitError::StepSizeUnderflow { time: t, dt });
                         }
                     }
                     Err(e) => return Err(e),
                 }
+            }
+            if step_recovered {
+                recovery.recovered_steps += 1;
             }
             let t_next = t + dt;
             let x_accepted_prev = std::mem::replace(&mut x, x_try);
@@ -642,6 +794,7 @@ impl Transient {
         }
 
         record_global_steps(stats);
-        Ok(store.finish(pin_energy, device_energy, max_kcl, stats))
+        record_global_recovery(recovery);
+        Ok(store.finish(pin_energy, device_energy, max_kcl, stats, recovery))
     }
 }

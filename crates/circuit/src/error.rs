@@ -26,6 +26,16 @@ pub enum CircuitError {
         /// Row/column index at which elimination broke down.
         pivot: usize,
     },
+    /// The Newton update produced a NaN or infinite entry (poisoned device
+    /// stamp, overflowing exponential, ...). Detected structurally so the
+    /// iteration fails fast instead of churning on garbage to `max_iters`.
+    NonFiniteSolution {
+        /// Simulation time at which the update went non-finite (seconds);
+        /// `0.0` for DC.
+        time: f64,
+        /// Newton iteration index at which the non-finite entry appeared.
+        iteration: usize,
+    },
     /// The transient step size under-flowed while trying to recover from a
     /// Newton failure.
     StepSizeUnderflow {
@@ -54,6 +64,10 @@ impl std::fmt::Display for CircuitError {
             Self::SingularMatrix { pivot } => write!(
                 f,
                 "singular MNA matrix at pivot {pivot} (floating node or disconnected subcircuit)"
+            ),
+            Self::NonFiniteSolution { time, iteration } => write!(
+                f,
+                "non-finite newton update at t = {time:.3e} s (iteration {iteration})"
             ),
             Self::StepSizeUnderflow { time, dt } => write!(
                 f,

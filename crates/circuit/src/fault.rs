@@ -1,0 +1,170 @@
+//! Deterministic fault injection for chaos-testing the solver recovery
+//! paths (compiled only with the `fault-injection` feature).
+//!
+//! Real circuits misbehave rarely and unreproducibly; the recovery ladder
+//! in the transient engine would otherwise only be exercised by luck. A
+//! [`FaultPlan`] attached to [`crate::analysis::NewtonSettings`] forces a
+//! specific failure *deterministically*, so every rung of the ladder has a
+//! test that fails if the rung regresses.
+//!
+//! Plans are plain `Copy` data: each [`FaultMode`] is a *predicate over the
+//! solver knobs in effect* (gmin, damping limit, step size), not a mutable
+//! countdown. That keeps `NewtonSettings` `Copy` and makes injected faults
+//! independent of how many times a step is retried — essential for
+//! asserting which rung recovered:
+//!
+//! * [`FaultMode::DivergeIfGminBelow`] — clears once the ladder escalates
+//!   gmin (tests the gmin rung).
+//! * [`FaultMode::DivergeIfDampingAbove`] — clears once the ladder tightens
+//!   the per-iteration voltage step (tests the damped-Newton rung).
+//! * [`FaultMode::DivergeIfDtAbove`] / [`FaultMode::NanIfDtAbove`] — clear
+//!   once the step is halved far enough (test the halving rung, via either
+//!   a divergence or a poisoned non-finite update).
+//! * [`FaultMode::DivergeAlways`] — never clears (tests the underflow
+//!   error path).
+//! * [`FaultMode::PanicOnSolve`] — panics inside the solve (tests panic
+//!   isolation in the execution layers above).
+//!
+//! An optional time window restricts the fault to part of the run, so a
+//! test can also assert that the simulation is healthy before and after
+//! the injected disturbance.
+
+/// What to inject, as a predicate over the solver configuration in effect.
+///
+/// See the module docs for which recovery rung each mode exercises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Report [`crate::CircuitError::NewtonDiverged`] on every solve.
+    DivergeAlways,
+    /// Diverge while the effective `gmin` is below the threshold (siemens).
+    DivergeIfGminBelow(f64),
+    /// Diverge while `max_voltage_step` is above the threshold (volts).
+    DivergeIfDampingAbove(f64),
+    /// Diverge while the time step is above the threshold (seconds).
+    DivergeIfDtAbove(f64),
+    /// Poison the first Newton update with a NaN while the time step is
+    /// above the threshold (seconds), as a broken device stamp would.
+    NanIfDtAbove(f64),
+    /// Panic inside the solve, as a programming error in a device model
+    /// would.
+    PanicOnSolve,
+}
+
+/// A deterministic fault to inject into the Newton solver.
+///
+/// Attach with
+/// [`NewtonSettings::with_fault`](crate::analysis::NewtonSettings::with_fault);
+/// the plan is consulted on every solve whose time falls inside the
+/// (optional) window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    mode: FaultMode,
+    window: Option<(f64, f64)>,
+}
+
+impl FaultPlan {
+    /// A plan active for the whole run.
+    pub fn new(mode: FaultMode) -> Self {
+        Self { mode, window: None }
+    }
+
+    /// Restricts the fault to solves at `t_from <= t <= t_to` (seconds).
+    #[must_use]
+    pub fn in_window(mut self, t_from: f64, t_to: f64) -> Self {
+        self.window = Some((t_from, t_to));
+        self
+    }
+
+    /// The injection mode.
+    pub fn mode(&self) -> FaultMode {
+        self.mode
+    }
+
+    fn active_at(&self, time: f64) -> bool {
+        match self.window {
+            Some((lo, hi)) => time >= lo && time <= hi,
+            None => true,
+        }
+    }
+
+    /// `true` if this solve should report a forced divergence.
+    pub(crate) fn forces_divergence(
+        &self,
+        time: f64,
+        dt: Option<f64>,
+        gmin: f64,
+        max_voltage_step: f64,
+    ) -> bool {
+        if !self.active_at(time) {
+            return false;
+        }
+        match self.mode {
+            FaultMode::DivergeAlways => true,
+            FaultMode::DivergeIfGminBelow(threshold) => gmin < threshold,
+            FaultMode::DivergeIfDampingAbove(threshold) => max_voltage_step > threshold,
+            FaultMode::DivergeIfDtAbove(threshold) => dt.is_some_and(|dt| dt > threshold),
+            FaultMode::NanIfDtAbove(_) | FaultMode::PanicOnSolve => false,
+        }
+    }
+
+    /// `true` if this solve should poison the Newton update with a NaN.
+    pub(crate) fn injects_nan(&self, time: f64, dt: Option<f64>) -> bool {
+        match self.mode {
+            FaultMode::NanIfDtAbove(threshold) => {
+                self.active_at(time) && dt.is_some_and(|dt| dt > threshold)
+            }
+            _ => false,
+        }
+    }
+
+    /// Panics if this solve is marked to panic.
+    pub(crate) fn check_panic(&self, time: f64) {
+        if self.mode == FaultMode::PanicOnSolve && self.active_at(time) {
+            panic!("fault injection: forced panic in newton solve at t = {time:.3e} s");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmin_predicate_clears_on_escalation() {
+        let plan = FaultPlan::new(FaultMode::DivergeIfGminBelow(1e-10));
+        assert!(plan.forces_divergence(0.0, None, 1e-12, 0.5));
+        assert!(!plan.forces_divergence(0.0, None, 1e-9, 0.5));
+    }
+
+    #[test]
+    fn damping_predicate_clears_on_tightening() {
+        let plan = FaultPlan::new(FaultMode::DivergeIfDampingAbove(0.2));
+        assert!(plan.forces_divergence(0.0, Some(1e-12), 1e-12, 0.5));
+        assert!(!plan.forces_divergence(0.0, Some(1e-12), 1e-12, 0.05));
+    }
+
+    #[test]
+    fn dt_predicates_clear_on_halving_and_ignore_dc() {
+        let plan = FaultPlan::new(FaultMode::DivergeIfDtAbove(1e-12));
+        assert!(plan.forces_divergence(0.0, Some(2e-12), 1e-12, 0.5));
+        assert!(!plan.forces_divergence(0.0, Some(0.5e-12), 1e-12, 0.5));
+        assert!(!plan.forces_divergence(0.0, None, 1e-12, 0.5));
+        let nan = FaultPlan::new(FaultMode::NanIfDtAbove(1e-12));
+        assert!(nan.injects_nan(0.0, Some(2e-12)));
+        assert!(!nan.injects_nan(0.0, Some(0.5e-12)));
+    }
+
+    #[test]
+    fn window_bounds_the_fault() {
+        let plan = FaultPlan::new(FaultMode::DivergeAlways).in_window(1.0, 2.0);
+        assert!(!plan.forces_divergence(0.5, None, 1e-12, 0.5));
+        assert!(plan.forces_divergence(1.5, None, 1e-12, 0.5));
+        assert!(!plan.forces_divergence(2.5, None, 1e-12, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection")]
+    fn panic_mode_panics() {
+        FaultPlan::new(FaultMode::PanicOnSolve).check_panic(0.0);
+    }
+}

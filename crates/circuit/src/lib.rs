@@ -13,8 +13,9 @@
 //!   vector for speed and robustness.
 //! * **DC operating point** — Newton–Raphson with `gmin` stepping.
 //! * **Transient analysis** — backward-Euler (default) or trapezoidal
-//!   integration with breakpoint alignment on source edges and automatic
-//!   step halving when Newton fails to converge. Stepping is fixed-step by
+//!   integration with breakpoint alignment on source edges and a recovery
+//!   ladder (escalated `gmin`, damped Newton, step halving) when Newton
+//!   fails to converge. Stepping is fixed-step by
 //!   default or truncation-error controlled
 //!   ([`analysis::StepControl::Adaptive`]), which grows the step across
 //!   flat waveform regions and shrinks it on fast edges.
@@ -58,6 +59,8 @@ mod circuit;
 mod device;
 pub mod elements;
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod linalg;
 mod node;
 mod probe;
@@ -70,7 +73,10 @@ pub use circuit::{Circuit, PinId};
 pub use device::{Device, DeviceId};
 pub use error::CircuitError;
 pub use node::NodeId;
-pub use probe::{global_step_stats, Edge, StepStats, Trace, TransientResult};
+pub use probe::{
+    global_recovery_stats, global_step_stats, Edge, RecoveryStats, StepStats, Trace,
+    TransientResult,
+};
 pub(crate) use spice::spice_waveform;
 pub use spice::{export_spice, format_spice_number};
 pub use stamp::{CommitCtx, IntegrationMethod, StampCtx};

@@ -95,6 +95,93 @@ pub(crate) fn record_global_steps(stats: StepStats) {
     GLOBAL_NEWTON_ITERS.fetch_add(stats.newton_iters, Ordering::Relaxed);
 }
 
+/// Recovery-ladder statistics of a transient run.
+///
+/// Counts how often the transient engine had to escalate past a plain
+/// Newton solve, and which rung of the ladder (gmin escalation → damped
+/// Newton → step halving, see `DESIGN.md` §6) succeeded. All-zero on a
+/// healthy run; nonzero counters on a run that still produced a result
+/// mean the ladder absorbed solver trouble.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Retries that converged under an escalated `gmin` shunt.
+    pub gmin_retries: u64,
+    /// Retries that converged under tightened Newton damping.
+    pub damped_retries: u64,
+    /// Solves rejected because the Newton update went non-finite
+    /// (NaN/Inf), before any retry.
+    pub nonfinite: u64,
+    /// Accepted steps that needed any recovery (ladder retry or halving).
+    pub recovered_steps: u64,
+}
+
+impl RecoveryStats {
+    /// Counter-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            gmin_retries: self.gmin_retries - earlier.gmin_retries,
+            damped_retries: self.damped_retries - earlier.damped_retries,
+            nonfinite: self.nonfinite - earlier.nonfinite,
+            recovered_steps: self.recovered_steps - earlier.recovered_steps,
+        }
+    }
+
+    /// Total ladder retries that converged (gmin + damped).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.gmin_retries + self.damped_retries
+    }
+
+    /// `true` if no recovery of any kind was needed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
+impl std::ops::AddAssign for RecoveryStats {
+    fn add_assign(&mut self, other: Self) {
+        self.gmin_retries += other.gmin_retries;
+        self.damped_retries += other.damped_retries;
+        self.nonfinite += other.nonfinite;
+        self.recovered_steps += other.recovered_steps;
+    }
+}
+
+impl std::ops::Add for RecoveryStats {
+    type Output = RecoveryStats;
+
+    fn add(mut self, other: Self) -> RecoveryStats {
+        self += other;
+        self
+    }
+}
+
+static GLOBAL_GMIN_RETRIES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_DAMPED_RETRIES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_NONFINITE: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_RECOVERED_STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cumulative recovery statistics, summed over every
+/// transient run since process start — the [`RecoveryStats`] counterpart
+/// of [`global_step_stats`], with the same snapshot-and-diff usage.
+pub fn global_recovery_stats() -> RecoveryStats {
+    RecoveryStats {
+        gmin_retries: GLOBAL_GMIN_RETRIES.load(Ordering::Relaxed),
+        damped_retries: GLOBAL_DAMPED_RETRIES.load(Ordering::Relaxed),
+        nonfinite: GLOBAL_NONFINITE.load(Ordering::Relaxed),
+        recovered_steps: GLOBAL_RECOVERED_STEPS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_global_recovery(stats: RecoveryStats) {
+    GLOBAL_GMIN_RETRIES.fetch_add(stats.gmin_retries, Ordering::Relaxed);
+    GLOBAL_DAMPED_RETRIES.fetch_add(stats.damped_retries, Ordering::Relaxed);
+    GLOBAL_NONFINITE.fetch_add(stats.nonfinite, Ordering::Relaxed);
+    GLOBAL_RECOVERED_STEPS.fetch_add(stats.recovered_steps, Ordering::Relaxed);
+}
+
 /// Signal edge direction for threshold-crossing measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Edge {
@@ -335,6 +422,7 @@ impl TraceStore {
         device_energy: Vec<f64>,
         max_kcl_residual: f64,
         stats: StepStats,
+        recovery: RecoveryStats,
     ) -> TransientResult {
         TransientResult {
             times: self.times,
@@ -352,6 +440,7 @@ impl TraceStore {
             device_energy,
             max_kcl_residual,
             stats,
+            recovery,
         }
     }
 }
@@ -374,6 +463,7 @@ pub struct TransientResult {
     device_energy: Vec<f64>,
     max_kcl_residual: f64,
     stats: StepStats,
+    recovery: RecoveryStats,
 }
 
 impl TransientResult {
@@ -401,6 +491,12 @@ impl TransientResult {
     /// The full step-acceptance and iteration statistics of the run.
     pub fn step_stats(&self) -> StepStats {
         self.stats
+    }
+
+    /// Recovery-ladder statistics of the run (all-zero when every step
+    /// converged on the first Newton attempt).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// Worst KCL residual observed at any free node (amps) — an internal

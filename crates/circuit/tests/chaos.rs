@@ -1,0 +1,158 @@
+//! Chaos tests: deterministic fault injection drives every rung of the
+//! transient recovery ladder (requires `--features fault-injection`).
+//!
+//! Each test forces a failure mode that only clears once a specific rung
+//! escalates (see `ftcam_circuit::fault`), so a regression in that rung
+//! turns the corresponding test red instead of silently shifting work to
+//! the next rung.
+
+use ftcam_circuit::analysis::{Transient, TransientOpts};
+use ftcam_circuit::elements::{Capacitor, Diode, Resistor};
+use ftcam_circuit::fault::{FaultMode, FaultPlan};
+use ftcam_circuit::waveform::Waveform;
+use ftcam_circuit::{
+    global_recovery_stats, Circuit, CircuitError, NewtonSettings, TransientResult,
+};
+
+const DT: f64 = 50e-12;
+const T_STOP: f64 = 5e-9;
+
+/// A driven RC low-pass with a diode clamp: nonlinear (so the full Newton
+/// iteration runs) and breakpoint-rich (pulse edges), yet fast to solve.
+fn testbench() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("vin");
+    let out = ckt.node("out");
+    ckt.pin(
+        vin,
+        "VIN",
+        Waveform::pulse(0.0, 1.0, 1e-9, 0.2e-9, 0.2e-9, 2e-9),
+    )
+    .unwrap();
+    ckt.add(Resistor::new(vin, out, 1e3));
+    ckt.add(Capacitor::new(out, ckt.ground(), 1e-12));
+    ckt.add(Diode::new(out, ckt.ground(), 1e-15));
+    ckt
+}
+
+fn run_with(fault: Option<FaultPlan>) -> Result<TransientResult, CircuitError> {
+    let mut newton = NewtonSettings::default();
+    if let Some(plan) = fault {
+        newton = newton.with_fault(plan);
+    }
+    let opts = TransientOpts::new(DT, T_STOP)
+        .use_initial_conditions()
+        .with_newton(newton);
+    Transient::new(opts).run(&mut testbench())
+}
+
+fn final_out(result: &TransientResult) -> f64 {
+    result.trace("out").unwrap().last_value()
+}
+
+#[test]
+fn healthy_run_reports_clean_recovery_stats() {
+    let result = run_with(None).unwrap();
+    assert!(result.recovery_stats().is_clean());
+    assert_eq!(result.step_stats().halvings, 0);
+}
+
+#[test]
+fn gmin_rung_recovers_divergence_cleared_by_escalation() {
+    let baseline = run_with(None).unwrap();
+    // Diverges at the production gmin (1e-12 S) but converges once the
+    // ladder escalates to >= 1e-9 S: only the gmin rung can clear this.
+    let plan = FaultPlan::new(FaultMode::DivergeIfGminBelow(1e-10));
+    let result = run_with(Some(plan)).unwrap();
+    let rec = result.recovery_stats();
+    assert!(rec.gmin_retries > 0, "gmin rung never fired: {rec:?}");
+    assert_eq!(rec.damped_retries, 0);
+    assert_eq!(
+        result.step_stats().halvings,
+        0,
+        "gmin rung should preempt halving"
+    );
+    assert_eq!(rec.recovered_steps, result.step_stats().accepted);
+    // The escalated shunt (1e-9 S against kΩ-scale branches) must not
+    // visibly perturb the waveform.
+    assert!(
+        (final_out(&result) - final_out(&baseline)).abs() < 1e-3,
+        "recovered waveform drifted: {} vs {}",
+        final_out(&result),
+        final_out(&baseline)
+    );
+}
+
+#[test]
+fn damped_rung_recovers_divergence_cleared_by_tighter_damping() {
+    // Clears only when max_voltage_step drops below 0.2 V — the damped
+    // rung sets 0.05 V; the gmin rung leaves damping untouched.
+    let plan = FaultPlan::new(FaultMode::DivergeIfDampingAbove(0.2));
+    let result = run_with(Some(plan)).unwrap();
+    let rec = result.recovery_stats();
+    assert!(rec.damped_retries > 0, "damped rung never fired: {rec:?}");
+    assert_eq!(
+        rec.gmin_retries, 0,
+        "gmin rung cannot clear a damping fault"
+    );
+    assert_eq!(result.step_stats().halvings, 0);
+    assert_eq!(rec.recovered_steps, result.step_stats().accepted);
+}
+
+#[test]
+fn halving_rung_recovers_divergence_cleared_by_smaller_steps() {
+    // Clears only below 30 ps; the base step is 50 ps, so neither in-step
+    // rung helps and the engine must halve.
+    let plan = FaultPlan::new(FaultMode::DivergeIfDtAbove(0.6 * DT));
+    let result = run_with(Some(plan)).unwrap();
+    let stats = result.step_stats();
+    let rec = result.recovery_stats();
+    assert!(stats.halvings > 0, "halving rung never fired: {stats:?}");
+    assert_eq!(rec.gmin_retries, 0);
+    assert_eq!(rec.damped_retries, 0);
+    assert!(rec.recovered_steps > 0);
+    assert!(stats.accepted > 0);
+}
+
+#[test]
+fn nan_injection_fails_structurally_and_recovers_by_halving() {
+    let before = global_recovery_stats();
+    let plan = FaultPlan::new(FaultMode::NanIfDtAbove(0.6 * DT));
+    let result = run_with(Some(plan)).unwrap();
+    let rec = result.recovery_stats();
+    // The poisoned update must be caught as NonFiniteSolution (not ground
+    // through max_iters), and halving below the threshold escapes it.
+    assert!(rec.nonfinite > 0, "NaN was never detected: {rec:?}");
+    assert!(result.step_stats().halvings > 0);
+    assert!(result.step_stats().accepted > 0);
+    let delta = global_recovery_stats().since(&before);
+    assert!(delta.nonfinite >= rec.nonfinite);
+    assert!(delta.recovered_steps >= rec.recovered_steps);
+}
+
+#[test]
+fn windowed_fault_leaves_the_rest_of_the_run_clean() {
+    let plan = FaultPlan::new(FaultMode::NanIfDtAbove(0.6 * DT)).in_window(2e-9, 3e-9);
+    let result = run_with(Some(plan)).unwrap();
+    let rec = result.recovery_stats();
+    assert!(rec.nonfinite > 0);
+    // Steps outside the window converge plainly, so strictly fewer steps
+    // than the whole run needed recovery.
+    assert!(rec.recovered_steps < result.step_stats().accepted);
+}
+
+#[test]
+fn unrecoverable_divergence_still_reports_step_size_underflow() {
+    let plan = FaultPlan::new(FaultMode::DivergeAlways);
+    let err = run_with(Some(plan)).unwrap_err();
+    assert!(
+        matches!(err, CircuitError::StepSizeUnderflow { .. }),
+        "expected StepSizeUnderflow, got {err}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "fault injection: forced panic")]
+fn panic_fault_escapes_the_solver() {
+    let _ = run_with(Some(FaultPlan::new(FaultMode::PanicOnSolve)));
+}

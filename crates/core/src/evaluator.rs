@@ -24,6 +24,8 @@ pub struct Evaluator {
     cache: CalibrationCache,
     threads: usize,
     exec_counters: Arc<ExecCounters>,
+    #[cfg(feature = "fault-injection")]
+    poison_item: Option<usize>,
 }
 
 impl Evaluator {
@@ -37,7 +39,19 @@ impl Evaluator {
             cache,
             threads: default_threads(),
             exec_counters: Arc::new(ExecCounters::new()),
+            #[cfg(feature = "fault-injection")]
+            poison_item: None,
         }
+    }
+
+    /// Poisons one executor work item index for every sweep this evaluator
+    /// drives: that item panics instead of running (builder style, chaos
+    /// tests only).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_poisoned_executor_item(mut self, item: usize) -> Self {
+        self.poison_item = Some(item);
+        self
     }
 
     /// Sets the worker-thread count for sweep execution (builder style).
@@ -122,7 +136,13 @@ impl Evaluator {
     /// A sweep executor bound to this evaluator's thread count and
     /// counters. Cheap to call; drivers request one per sweep.
     pub fn executor(&self) -> Executor {
-        Executor::with_counters(self.threads, Arc::clone(&self.exec_counters))
+        let exec = Executor::with_counters(self.threads, Arc::clone(&self.exec_counters));
+        #[cfg(feature = "fault-injection")]
+        let exec = match self.poison_item {
+            Some(item) => exec.with_poisoned_item(item),
+            None => exec,
+        };
+        exec
     }
 
     /// Builds a row testbench for a standard design.

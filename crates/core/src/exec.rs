@@ -13,13 +13,47 @@
 //! `run_by_id` snapshots them (together with the calibration-cache
 //! counters) into an [`ExecStats`] attached to each emitted artifact.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use ftcam_array::CacheStats;
-use ftcam_circuit::StepStats;
+use ftcam_circuit::{RecoveryStats, StepStats};
 use serde::{Deserialize, Serialize};
+
+/// Renders a panic payload the way the panic hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Why one work item of an [`Executor::run_partial`] sweep produced no
+/// result: its job either returned an error or panicked. Panics are caught
+/// per item, so a crashing job costs exactly one slot, never the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemError<E> {
+    /// The job returned `Err`.
+    Failed(E),
+    /// The job panicked; the payload is rendered to a message.
+    Panicked(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ItemError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Failed(e) => write!(f, "{e}"),
+            Self::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for ItemError<E> {}
 
 /// Shared accumulating counters for one [`Executor`] (usually owned by the
 /// `Evaluator` and shared by every executor it hands out).
@@ -95,6 +129,9 @@ pub struct ExecStats {
     /// from other threads in the same process bleed in; like the timing
     /// fields, this is diagnostic, not deterministic.
     pub steps: StepStats,
+    /// Recovery-ladder activity during the run (same process-wide delta
+    /// caveat as `steps`); all-zero unless the solver had to recover.
+    pub recovery: RecoveryStats,
     /// Total wall-clock nanoseconds for the experiment.
     pub wall_nanos: u64,
 }
@@ -108,6 +145,8 @@ pub struct ExecStats {
 pub struct Executor {
     threads: usize,
     counters: Arc<ExecCounters>,
+    #[cfg(feature = "fault-injection")]
+    poison_item: Option<usize>,
 }
 
 impl Executor {
@@ -118,7 +157,29 @@ impl Executor {
 
     /// Creates an executor accumulating into shared counters.
     pub fn with_counters(threads: usize, counters: Arc<ExecCounters>) -> Self {
-        Self { threads, counters }
+        Self {
+            threads,
+            counters,
+            #[cfg(feature = "fault-injection")]
+            poison_item: None,
+        }
+    }
+
+    /// Marks one work item of every subsequent sweep to panic before its
+    /// job runs (chaos tests only): the deterministic "poisoned worker"
+    /// fault for exercising [`Executor::run_partial`] isolation.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_poisoned_item(mut self, item: usize) -> Self {
+        self.poison_item = Some(item);
+        self
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn check_poison(&self, i: usize) {
+        if self.poison_item == Some(i) {
+            panic!("fault injection: poisoned work item {i}");
+        }
     }
 
     /// The configured worker-thread count.
@@ -131,24 +192,19 @@ impl Executor {
         &self.counters
     }
 
-    /// Runs `job(i, &items[i])` for every item and returns the results in
-    /// item order.
+    /// Runs `job(i, &items[i])` for every item and returns a per-item
+    /// `Result` vector in item order — the partial-results primitive: one
+    /// failing or even panicking item never costs the others.
     ///
     /// Work is distributed over `min(threads, items.len())` scoped threads
     /// via an atomic claim counter; each result lands in a per-item slot,
     /// so assembly order — and therefore the output — is independent of
     /// which thread ran which job. Every job runs even if an earlier one
     /// failed (no early cancellation), keeping cache warm-up deterministic.
-    ///
-    /// # Errors
-    ///
-    /// If any job fails, returns the error of the **lowest-indexed**
-    /// failing item — the same error a serial run would hit first.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from a worker thread.
-    pub fn run<T, R, E, F>(&self, items: &[T], job: F) -> Result<Vec<R>, E>
+    /// Each job runs under `catch_unwind`, so a panic is confined to its
+    /// item and reported as [`ItemError::Panicked`] with the rendered
+    /// payload.
+    pub fn run_partial<T, R, E, F>(&self, items: &[T], job: F) -> Vec<Result<R, ItemError<E>>>
     where
         T: Sync,
         R: Send + Sync,
@@ -157,19 +213,31 @@ impl Executor {
     {
         let n = items.len();
         if n == 0 {
-            return Ok(Vec::new());
+            return Vec::new();
         }
+        let run_one = |i: usize, item: &T| -> Result<R, ItemError<E>> {
+            match catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                self.check_poison(i);
+                job(i, item)
+            })) {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(e)) => Err(ItemError::Failed(e)),
+                Err(payload) => Err(ItemError::Panicked(panic_message(&*payload))),
+            }
+        };
         let started = Instant::now();
         let workers = self.threads.clamp(1, n);
-        let slots: Vec<OnceLock<Result<R, E>>> = (0..n).map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<Result<R, ItemError<E>>>> =
+            (0..n).map(|_| OnceLock::new()).collect();
         if workers == 1 {
             for (i, item) in items.iter().enumerate() {
-                let filled = slots[i].set(job(i, item)).is_ok();
+                let filled = slots[i].set(run_one(i, item)).is_ok();
                 debug_assert!(filled, "slot {i} filled twice");
             }
         } else {
             let next = AtomicUsize::new(0);
-            let (next, slots_ref, job_ref) = (&next, &slots, &job);
+            let (next, slots_ref, run_ref) = (&next, &slots, &run_one);
             crossbeam::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(move |_| loop {
@@ -177,7 +245,7 @@ impl Executor {
                         if i >= n {
                             break;
                         }
-                        let filled = slots_ref[i].set(job_ref(i, &items[i])).is_ok();
+                        let filled = slots_ref[i].set(run_ref(i, &items[i])).is_ok();
                         debug_assert!(filled, "slot {i} filled twice");
                     });
                 }
@@ -190,23 +258,52 @@ impl Executor {
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         let assemble_started = Instant::now();
-        let mut out = Vec::with_capacity(n);
-        let mut first_err: Option<E> = None;
-        for slot in slots {
-            let result = slot.into_inner().expect("every claimed slot is filled");
-            match result {
-                Ok(r) => out.push(r),
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
-                }
-            }
-        }
+        let out: Vec<Result<R, ItemError<E>>> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every claimed slot is filled"))
+            .collect();
         self.counters.assemble_nanos.fetch_add(
             assemble_started.elapsed().as_nanos() as u64,
             Ordering::Relaxed,
         );
+        out
+    }
+
+    /// Runs `job(i, &items[i])` for every item and returns the results in
+    /// item order — all-or-nothing semantics built on
+    /// [`Executor::run_partial`].
+    ///
+    /// # Errors
+    ///
+    /// If any job fails, returns the error of the **lowest-indexed**
+    /// failing item — the same error a serial run would hit first.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the lowest-indexed panicking job (use
+    /// [`Executor::run_partial`] to survive panics instead).
+    pub fn run<T, R, E, F>(&self, items: &[T], job: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send + Sync,
+        E: Send + Sync,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        let mut first_err: Option<E> = None;
+        for (i, result) in self.run_partial(items, job).into_iter().enumerate() {
+            match result {
+                Ok(r) => out.push(r),
+                Err(ItemError::Failed(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(ItemError::Panicked(msg)) => {
+                    panic!("executor worker panicked on item {i}: {msg}")
+                }
+            }
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(out),
@@ -270,6 +367,52 @@ mod tests {
         exec.run(&[1, 2], |_, &x| Ok::<_, ()>(x)).unwrap();
         let delta = counters.snapshot().since(&before);
         assert_eq!(delta.jobs, 5);
+    }
+
+    #[test]
+    fn run_partial_reports_every_outcome_in_item_order() {
+        let items: Vec<usize> = (0..40).collect();
+        let exec = Executor::new(4);
+        let out = exec.run_partial(&items, |_, &x| if x % 3 == 0 { Err(x) } else { Ok(x * 10) });
+        assert_eq!(out.len(), 40);
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(*r, Err(ItemError::Failed(i)));
+            } else {
+                assert_eq!(*r, Ok(i * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn run_partial_confines_a_panic_to_its_item() {
+        let items: Vec<usize> = (0..16).collect();
+        let exec = Executor::new(4);
+        let out = exec.run_partial(&items, |_, &x| {
+            assert!(x != 5, "item five exploded");
+            Ok::<_, ()>(x)
+        });
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                Ok(v) => assert_eq!(*v, i),
+                Err(ItemError::Panicked(msg)) => {
+                    assert_eq!(i, 5);
+                    assert!(msg.contains("item five exploded"), "got: {msg}");
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "executor worker panicked on item 3")]
+    fn run_repanics_on_the_lowest_panicking_item() {
+        let exec = Executor::new(2);
+        let items: Vec<usize> = (0..8).collect();
+        let _ = exec.run(&items, |_, &x| {
+            assert!(x < 3, "boom");
+            Ok::<_, ()>(x)
+        });
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use ftcam_array::{run_variation_mc, VariationParams};
 use ftcam_cells::{CellError, DesignKind};
 
+use crate::exec::ItemError;
 use crate::report::{Artifact, Figure};
 use crate::Evaluator;
 
@@ -78,7 +79,11 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
         .iter()
         .flat_map(|&kind| params.sigmas.iter().map(move |&sigma| (kind, sigma)))
         .collect();
-    let stats = eval.executor().run(&points, |_, &(kind, sigma)| {
+    // Partial-results semantics: a point whose every MC sample diverges (or
+    // that panics outright) becomes a NaN cell plus a note, instead of
+    // discarding the rest of the sweep. Per-sample solver failures inside a
+    // surviving point are summed and reported alongside.
+    let outcomes = eval.executor().run_partial(&points, |_, &(kind, sigma)| {
         let mc = run_variation_mc(
             kind,
             eval.card(),
@@ -92,14 +97,47 @@ pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
                 threads: params.threads,
             },
         )?;
-        Ok::<_, CellError>((mc.failure_rate(), mc.mean_worst_margin()))
-    })?;
+        Ok::<_, CellError>((
+            mc.failure_rate(),
+            mc.mean_worst_margin(),
+            mc.solver_failures.len(),
+        ))
+    });
+    let mut solver_failures = 0usize;
+    let mut point_failures: Vec<String> = Vec::new();
+    let stats: Vec<(f64, f64)> = outcomes
+        .into_iter()
+        .zip(&points)
+        .map(|(outcome, &(kind, sigma))| match outcome {
+            Ok((fail, margin, lost)) => {
+                solver_failures += lost;
+                (fail, margin)
+            }
+            Err(e) => {
+                let cause = match e {
+                    ItemError::Failed(err) => err.to_string(),
+                    ItemError::Panicked(msg) => format!("panicked: {msg}"),
+                };
+                point_failures.push(format!("{} at σ = {sigma} V: {cause}", kind.key()));
+                (f64::NAN, f64::NAN)
+            }
+        })
+        .collect();
     for (di, &kind) in params.designs.iter().enumerate() {
         let per_sigma = &stats[di * params.sigmas.len()..(di + 1) * params.sigmas.len()];
         let fail = per_sigma.iter().map(|&(f, _)| f).collect();
         let margin = per_sigma.iter().map(|&(_, m)| m).collect();
         fig.push_series(format!("{} failure rate", kind.key()), fail);
         fig.push_series(format!("{} worst margin (V)", kind.key()), margin);
+    }
+    if solver_failures > 0 {
+        fig.note(format!(
+            "solver_failures: {solver_failures} Monte-Carlo sample(s) lost to solver \
+             divergence across the sweep; rates and margins average the survivors"
+        ));
+    }
+    for failure in &point_failures {
+        fig.note(format!("failed point: {failure}"));
     }
     fig.note(format!(
         "{} samples per point, {}-bit words; the large FeFET memory window keeps the \

@@ -61,6 +61,7 @@ pub fn run_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, Cel
     let cache_before = eval.calibrations().stats();
     let exec_before = eval.exec_counters().snapshot();
     let steps_before = ftcam_circuit::global_step_stats();
+    let recovery_before = ftcam_circuit::global_recovery_stats();
     let started = Instant::now();
     let mut artifact = dispatch_by_id(eval, id, full)?;
     let wall_nanos = started.elapsed().as_nanos() as u64;
@@ -72,6 +73,7 @@ pub fn run_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, Cel
         assemble_nanos: exec.assemble_nanos,
         cache: eval.calibrations().stats().since(&cache_before),
         steps: ftcam_circuit::global_step_stats().since(&steps_before),
+        recovery: ftcam_circuit::global_recovery_stats().since(&recovery_before),
         wall_nanos,
     });
     Ok(artifact)

@@ -43,7 +43,7 @@ mod plot;
 mod report;
 
 pub use evaluator::Evaluator;
-pub use exec::{ExecCounters, ExecSnapshot, ExecStats, Executor};
+pub use exec::{ExecCounters, ExecSnapshot, ExecStats, Executor, ItemError};
 pub use ftcam_array::CacheStats;
 pub use plot::plot_figure;
 pub use report::{Artifact, Figure, Series, Table, TableRow};

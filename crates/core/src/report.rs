@@ -465,6 +465,7 @@ mod tests {
             assemble_nanos: 10,
             cache: Default::default(),
             steps: Default::default(),
+            recovery: Default::default(),
             wall_nanos: 2_000,
         };
         let mut a = Artifact::Table(Table::new("t", "x", vec![]));

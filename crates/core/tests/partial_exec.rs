@@ -1,0 +1,76 @@
+//! Property tests for [`Executor::run_partial`]: for any mix of
+//! succeeding, failing and panicking jobs, and any thread count, the
+//! outcome vector is in item order, every item is accounted for exactly
+//! once, and one crashing job never contaminates its neighbours.
+
+use ftcam_core::{Executor, ItemError};
+use proptest::prelude::*;
+
+/// What the randomly generated job does for one item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Fate {
+    Succeed,
+    Fail,
+    Panic,
+}
+
+fn fate_strategy() -> impl Strategy<Value = Fate> {
+    prop_oneof![
+        4 => Just(Fate::Succeed),
+        1 => Just(Fate::Fail),
+        1 => Just(Fate::Panic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The outcome vector mirrors the fate vector slot for slot,
+    /// independent of the thread count.
+    #[test]
+    fn every_item_is_accounted_for_in_order(
+        fates in proptest::collection::vec(fate_strategy(), 1..40),
+        threads in 1usize..6,
+    ) {
+        let exec = Executor::new(threads);
+        let out = exec.run_partial(&fates, |i, &fate| match fate {
+            Fate::Succeed => Ok(i * 7),
+            Fate::Fail => Err(i),
+            Fate::Panic => panic!("injected panic on item {i}"),
+        });
+        prop_assert_eq!(out.len(), fates.len());
+        for (i, (outcome, &fate)) in out.iter().zip(&fates).enumerate() {
+            match fate {
+                Fate::Succeed => prop_assert_eq!(outcome, &Ok(i * 7)),
+                Fate::Fail => prop_assert_eq!(outcome, &Err(ItemError::Failed(i))),
+                Fate::Panic => {
+                    let Err(ItemError::Panicked(msg)) = outcome else {
+                        return Err(TestCaseError::fail(format!(
+                            "item {i} should have panicked, got {outcome:?}"
+                        )));
+                    };
+                    let expected = format!("injected panic on item {i}");
+                    prop_assert!(msg.contains(&expected), "panic message `{}` should contain `{}`", msg, expected);
+                }
+            }
+        }
+    }
+
+    /// Thread-count invariance: the full outcome vector (including error
+    /// and panic renderings) is identical for serial and parallel runs.
+    #[test]
+    fn outcomes_are_thread_count_invariant(
+        fates in proptest::collection::vec(fate_strategy(), 1..40),
+    ) {
+        let job = |i: usize, fate: &Fate| match fate {
+            Fate::Succeed => Ok(i),
+            Fate::Fail => Err(format!("failed {i}")),
+            Fate::Panic => panic!("boom {i}"),
+        };
+        let serial = Executor::new(1).run_partial(&fates, job);
+        for threads in [2, 5] {
+            let parallel = Executor::new(threads).run_partial(&fates, job);
+            prop_assert_eq!(&parallel, &serial, "threads = {}", threads);
+        }
+    }
+}
