@@ -1,0 +1,69 @@
+//! Criterion bench for the e17 engine-replay path: raw bit-plane search
+//! throughput on a 64k-row IPv4 routing table, and the metered replay
+//! pipeline that also prices each query through the cost model.
+//!
+//! The throughput target recorded in EXPERIMENTS.md — at least one
+//! million queries per second single-threaded on the indexed 64k-row
+//! table — is printed here directly as queries/sec alongside the
+//! criterion medians.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcam_core::Executor;
+use ftcam_engine::{pipeline, EngineConfig, Metering, WorkloadReplay};
+use ftcam_workloads::IpRoutingWorkloadParams;
+
+const ROWS: usize = 65_536;
+const QUERIES: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let replay = WorkloadReplay::ip_routing(&IpRoutingWorkloadParams {
+        entries: ROWS,
+        queries: QUERIES as usize,
+        width: 32,
+        ..IpRoutingWorkloadParams::default()
+    });
+    let queries = replay.queries(0..QUERIES);
+    let engine = replay.engine(EngineConfig::default());
+
+    // Headline number: single-threaded queries/sec over the whole stream.
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for q in &queries {
+        hits += u64::from(engine.search(q).is_some());
+    }
+    let qps = queries.len() as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "e17 search throughput: {qps:.0} queries/sec single-threaded \
+         ({ROWS} rows, {} queries, {hits} hits, indexed: {})",
+        queries.len(),
+        engine.is_indexed()
+    );
+
+    let mut group = c.benchmark_group("e17_engine_replay");
+    group.sample_size(10);
+    group.bench_function("search_4096_queries_64k_rows", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for q in &queries {
+                hits += u64::from(engine.search(q).is_some());
+            }
+            hits
+        })
+    });
+    let exec = Executor::new(1);
+    group.bench_function("metered_replay_aggregate_64k_rows", |b| {
+        b.iter(|| {
+            let engine = replay.engine(EngineConfig {
+                metering: Metering::Aggregate,
+                ..EngineConfig::default()
+            });
+            pipeline::replay(&engine, &queries, &exec, 256)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

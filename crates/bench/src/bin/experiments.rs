@@ -70,7 +70,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--full] [--adaptive] [--threads N] [--out DIR] \
-                     [ID ...]\nids: {}",
+                     [ID ...]\nids: {} e17",
                     experiments::ALL_IDS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -84,6 +84,7 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
+        ids.push("e17".to_string());
     }
 
     let mut eval = Evaluator::standard();
@@ -106,10 +107,17 @@ fn main() -> ExitCode {
     let mut failures: Vec<(String, String)> = Vec::new();
     for id in &ids {
         let started = Instant::now();
-        let outcome: Result<Artifact, String> =
-            catch_unwind(AssertUnwindSafe(|| experiments::run_by_id(&eval, id, full)))
-                .map_err(|payload| format!("panicked: {}", panic_message(&*payload)))
-                .and_then(|r| r.map_err(|e| e.to_string()));
+        // `e17` lives in the engine crate (a layer above `ftcam-core`'s
+        // dispatch table), so it is routed here.
+        let outcome: Result<Artifact, String> = catch_unwind(AssertUnwindSafe(|| {
+            if id == "e17" {
+                ftcam_engine::experiments::run_instrumented(&eval, full)
+            } else {
+                experiments::run_by_id(&eval, id, full)
+            }
+        }))
+        .map_err(|payload| format!("panicked: {}", panic_message(&*payload)))
+        .and_then(|r| r.map_err(|e| e.to_string()));
         match outcome {
             Ok(artifact) => {
                 println!("{}", artifact.to_markdown());

@@ -47,23 +47,28 @@ pub const ALL_IDS: [&str; 16] = [
     "table3", "table4", "fig11", "fig12", "fig13",
 ];
 
-/// Runs one experiment by id with its quick (default) or full preset.
+/// Runs one experiment driver under instrumentation: the returned artifact
+/// carries an [`ExecStats`] delta covering exactly this invocation — jobs
+/// executed, per-phase executor time, calibration-cache activity, solver
+/// step/recovery counters and total wall-clock.
 ///
-/// The returned artifact carries an [`ExecStats`] delta covering exactly
-/// this run: jobs executed, per-phase executor time, calibration-cache
-/// activity and total wall-clock.
+/// This is the wrapper [`run_by_id`] applies to the built-in experiments;
+/// it is public so out-of-crate drivers (e.g. the `ftcam-engine` replay
+/// experiment) attach identical telemetry.
 ///
 /// # Errors
 ///
-/// Returns [`CellError::InvalidParameter`] for an unknown id, and
-/// propagates simulation failures.
-pub fn run_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, CellError> {
+/// Propagates whatever `f` returns.
+pub fn instrumented(
+    eval: &Evaluator,
+    f: impl FnOnce(&Evaluator) -> Result<Artifact, CellError>,
+) -> Result<Artifact, CellError> {
     let cache_before = eval.calibrations().stats();
     let exec_before = eval.exec_counters().snapshot();
     let steps_before = ftcam_circuit::global_step_stats();
     let recovery_before = ftcam_circuit::global_recovery_stats();
     let started = Instant::now();
-    let mut artifact = dispatch_by_id(eval, id, full)?;
+    let mut artifact = f(eval)?;
     let wall_nanos = started.elapsed().as_nanos() as u64;
     let exec = eval.exec_counters().snapshot().since(&exec_before);
     artifact.set_exec(ExecStats {
@@ -77,6 +82,17 @@ pub fn run_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, Cel
         wall_nanos,
     });
     Ok(artifact)
+}
+
+/// Runs one experiment by id with its quick (default) or full preset,
+/// [`instrumented`].
+///
+/// # Errors
+///
+/// Returns [`CellError::InvalidParameter`] for an unknown id, and
+/// propagates simulation failures.
+pub fn run_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, CellError> {
+    instrumented(eval, |eval| dispatch_by_id(eval, id, full))
 }
 
 fn dispatch_by_id(eval: &Evaluator, id: &str, full: bool) -> Result<Artifact, CellError> {

@@ -1,0 +1,188 @@
+//! E17 — "fig. 9 at scale": per-design search energy per query on
+//! workload-scale IP routing tables, replayed through the calibrated
+//! engine instead of the `O(rows × queries)` golden-model histogram pass.
+//!
+//! The circuit-level fig. 9 experiment (`e10`) evaluates a few hundred
+//! rows; this driver replays tens of thousands to a million rows by
+//! scanning bit-plane shards through the executor and metering every (or
+//! every *n*-th) query with the calibration-exported [`CostModel`]. The
+//! scan is shared across designs: the per-query mismatch histogram is
+//! computed once and priced per design.
+//!
+//! [`CostModel`]: crate::CostModel
+
+use ftcam_cells::{CellError, DesignKind};
+use ftcam_core::experiments::instrumented;
+use ftcam_core::{Artifact, Evaluator, Table};
+use ftcam_workloads::IpRoutingWorkloadParams;
+
+use crate::cost::Metering;
+use crate::engine::EngineConfig;
+use crate::pipeline;
+use crate::replay::WorkloadReplay;
+
+/// Parameters for the scaled workload-replay experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Routing-table sizes to sweep (rows).
+    pub row_counts: Vec<usize>,
+    /// Word width (32 = IPv4).
+    pub width: usize,
+    /// Queries replayed per table.
+    pub queries: u64,
+    /// Designs to price.
+    pub designs: Vec<DesignKind>,
+    /// Engine shard count (fixed fan-out width; stats are thread-count
+    /// invariant for any value).
+    pub shards: usize,
+    /// Energy metering mode.
+    pub metering: Metering,
+    /// Queries per pipeline batch.
+    pub batch: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            row_counts: vec![1024, 4096],
+            width: 32,
+            queries: 2048,
+            designs: vec![
+                DesignKind::FeFet2T,
+                DesignKind::EaSlGated,
+                DesignKind::EaMlSegmented,
+                DesignKind::EaFull,
+            ],
+            shards: 4,
+            metering: Metering::Exact,
+            batch: 256,
+        }
+    }
+}
+
+impl Params {
+    /// Workload-scale preset: 64k to 1M routing entries, sampled metering.
+    pub fn full() -> Self {
+        Self {
+            row_counts: vec![65_536, 262_144, 1_048_576],
+            queries: 4096,
+            shards: 8,
+            metering: Metering::Sampled { period: 31 },
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates calibration failures.
+pub fn run(eval: &Evaluator, params: &Params) -> Result<Artifact, CellError> {
+    let mut table = Table::new(
+        "e17",
+        "Engine-replayed search energy per query on scaled IP routing tables (pJ)",
+        params.row_counts.iter().map(|r| r.to_string()).collect(),
+    );
+    // One calibration per design (width-keyed, cached); shared across all
+    // table sizes.
+    let calibs = params
+        .designs
+        .iter()
+        .map(|&kind| eval.calibrations().get(kind, params.width))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut cells: Vec<Vec<f64>> = vec![Vec::new(); params.designs.len()];
+    let mut notes: Vec<String> = Vec::new();
+    for &rows in &params.row_counts {
+        let replay = WorkloadReplay::ip_routing(&IpRoutingWorkloadParams {
+            entries: rows,
+            queries: params.queries as usize,
+            width: params.width,
+            ..IpRoutingWorkloadParams::default()
+        });
+        let mut engine = replay.engine(EngineConfig {
+            shards: params.shards,
+            metering: params.metering,
+            ..EngineConfig::default()
+        });
+        for calib in &calibs {
+            engine = engine.with_design(calib);
+        }
+        let queries = replay.queries(0..params.queries);
+        let stats = pipeline::replay(&engine, &queries, &eval.executor(), params.batch);
+        for (di, &kind) in params.designs.iter().enumerate() {
+            cells[di].push(stats.pj_per_query(kind).unwrap_or(f64::NAN));
+        }
+        notes.push(format!(
+            "{rows} rows: {:.0} queries/s wall-clock, {}/{} queries metered, \
+             hit rate {:.1}%",
+            stats.queries_per_sec(),
+            stats.metered_queries,
+            stats.queries,
+            100.0 * stats.hits as f64 / stats.queries.max(1) as f64,
+        ));
+    }
+    for (di, &kind) in params.designs.iter().enumerate() {
+        table.push(kind.key(), cells[di].clone());
+    }
+    table.note(format!(
+        "metering {:?}, {} shards, batch {}; energy from the calibration-exported \
+         cost model ({} queries per table)",
+        params.metering, params.shards, params.batch, params.queries
+    ));
+    for note in notes {
+        table.note(note);
+    }
+    Ok(Artifact::Table(table))
+}
+
+/// [`run`] with quick/full preset selection and the standard experiment
+/// instrumentation (exec stats attached to the artifact) — the entry point
+/// the `experiments` binary dispatches to for id `e17`.
+///
+/// # Errors
+///
+/// Propagates calibration failures.
+pub fn run_instrumented(eval: &Evaluator, full: bool) -> Result<Artifact, CellError> {
+    let params = if full {
+        Params::full()
+    } else {
+        Params::default()
+    };
+    instrumented(eval, |eval| run(eval, &params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preset_prices_every_design() {
+        let eval = Evaluator::quick();
+        let params = Params {
+            row_counts: vec![256],
+            queries: 64,
+            designs: vec![DesignKind::FeFet2T, DesignKind::EaFull],
+            ..Params::default()
+        };
+        let Artifact::Table(t) = run(&eval, &params).unwrap() else {
+            panic!("expected table")
+        };
+        let base = t.cell("fefet2t", "256").unwrap();
+        let full = t.cell("ea-full", "256").unwrap();
+        assert!(base.is_finite() && full.is_finite());
+        assert!(
+            full < base,
+            "ea-full {full:.3} pJ must beat fefet2t {base:.3} pJ"
+        );
+    }
+
+    #[test]
+    fn instrumented_run_attaches_exec_stats() {
+        let eval = Evaluator::quick().with_threads(2);
+        let artifact = run_instrumented(&eval, false).unwrap();
+        let stats = artifact.exec().expect("exec stats attached");
+        assert_eq!(stats.threads, 2);
+        assert!(stats.jobs > 0, "replay must route through the executor");
+    }
+}

@@ -1,0 +1,193 @@
+//! Packed (bitwise) query representation.
+//!
+//! A ternary query of `W` digits packs into two bitmasks — `care` (digit is
+//! definite) and `pattern` (digit is `1`) — plus per-column broadcast masks
+//! (`0` or `!0`) that the column kernels consume directly, so the inner
+//! match loop is pure `u64` logic with no per-digit branching.
+
+use ftcam_workloads::{Ternary, TernaryWord};
+
+/// A query word packed for the bit-plane kernels.
+///
+/// Digit `j` (most significant first, matching [`TernaryWord`] indexing)
+/// lands in word `j / 64`, bit `j % 64` of the compact masks, and in slot
+/// `j` of the broadcast masks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedQuery {
+    width: usize,
+    /// Compact mask: bit set where the digit is definite (not `X`).
+    care: Vec<u64>,
+    /// Compact mask: bit set where the digit is `1` (subset of `care`).
+    pattern: Vec<u64>,
+    /// Per-column broadcast of the care bit (`0` or `!0`).
+    care_bcast: Vec<u64>,
+    /// Per-column broadcast of the pattern bit (`0` or `!0`).
+    pattern_bcast: Vec<u64>,
+}
+
+impl PackedQuery {
+    /// Packs a ternary word.
+    pub fn from_word(word: &TernaryWord) -> Self {
+        let width = word.width();
+        let words = width.div_ceil(64).max(1);
+        let mut care = vec![0u64; words];
+        let mut pattern = vec![0u64; words];
+        let mut care_bcast = vec![0u64; width];
+        let mut pattern_bcast = vec![0u64; width];
+        for (j, &d) in word.digits().iter().enumerate() {
+            match d {
+                Ternary::X => {}
+                Ternary::Zero => {
+                    care[j / 64] |= 1 << (j % 64);
+                    care_bcast[j] = !0;
+                }
+                Ternary::One => {
+                    care[j / 64] |= 1 << (j % 64);
+                    pattern[j / 64] |= 1 << (j % 64);
+                    care_bcast[j] = !0;
+                    pattern_bcast[j] = !0;
+                }
+            }
+        }
+        Self {
+            width,
+            care,
+            pattern,
+            care_bcast,
+            pattern_bcast,
+        }
+    }
+
+    /// Query width in digits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of definite (non-`X`) digits.
+    pub fn definite_count(&self) -> u32 {
+        self.care.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Broadcast care mask for column `col` (`0` or `!0`).
+    #[inline]
+    pub fn care_mask(&self, col: usize) -> u64 {
+        self.care_bcast[col]
+    }
+
+    /// Broadcast pattern mask for column `col` (`0` or `!0`).
+    #[inline]
+    pub fn pattern_mask(&self, col: usize) -> u64 {
+        self.pattern_bcast[col]
+    }
+
+    /// `true` if column `col` is definite.
+    #[inline]
+    pub fn is_definite(&self, col: usize) -> bool {
+        self.care_bcast[col] != 0
+    }
+
+    /// `true` if column `col` is a definite `1`.
+    #[inline]
+    pub fn bit(&self, col: usize) -> bool {
+        self.pattern_bcast[col] != 0
+    }
+
+    /// Search-line pair transitions against the previous query of a stream,
+    /// matching [`ftcam_workloads::ToggleStats`] semantics exactly: each
+    /// digit whose `(SL, SLB)` drive pair changed counts once, and the
+    /// first query of a stream charges every definite digit from the idle
+    /// (all-low) state.
+    pub fn toggles_from(&self, prev: Option<&PackedQuery>) -> u32 {
+        let Some(prev) = prev else {
+            return self.definite_count();
+        };
+        debug_assert_eq!(self.width, prev.width);
+        let mut toggles = 0u32;
+        for i in 0..self.care.len() {
+            // SL is driven high on a definite 1, SLB on a definite 0.
+            let sl_c = self.care[i] & self.pattern[i];
+            let slb_c = self.care[i] & !self.pattern[i];
+            let sl_p = prev.care[i] & prev.pattern[i];
+            let slb_p = prev.care[i] & !prev.pattern[i];
+            toggles += ((sl_c ^ sl_p) | (slb_c ^ slb_p)).count_ones();
+        }
+        toggles
+    }
+
+    /// The value of the top `k` digits (most significant first), or `None`
+    /// if any of them is `X` — the prefix-stride index key.
+    pub fn top_value(&self, k: usize) -> Option<usize> {
+        debug_assert!(k <= self.width);
+        let mut value = 0usize;
+        for j in 0..k {
+            if self.care_bcast[j] == 0 {
+                return None;
+            }
+            value = (value << 1) | usize::from(self.pattern_bcast[j] != 0);
+        }
+        Some(value)
+    }
+}
+
+impl From<&TernaryWord> for PackedQuery {
+    fn from(word: &TernaryWord) -> Self {
+        Self::from_word(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcam_workloads::ToggleStats;
+
+    #[test]
+    fn packing_round_trips_digit_semantics() {
+        let w: TernaryWord = "10X1".parse().unwrap();
+        let q = PackedQuery::from_word(&w);
+        assert_eq!(q.width(), 4);
+        assert_eq!(q.definite_count(), 3);
+        assert!(q.is_definite(0) && q.bit(0));
+        assert!(q.is_definite(1) && !q.bit(1));
+        assert!(!q.is_definite(2));
+        assert!(q.is_definite(3) && q.bit(3));
+    }
+
+    #[test]
+    fn wide_words_span_multiple_mask_words() {
+        let mut digits = vec![Ternary::Zero; 100];
+        digits[0] = Ternary::One;
+        digits[70] = Ternary::One;
+        digits[99] = Ternary::X;
+        let q = PackedQuery::from_word(&TernaryWord::new(digits));
+        assert_eq!(q.definite_count(), 99);
+        assert!(q.bit(70));
+        assert!(!q.is_definite(99));
+    }
+
+    #[test]
+    fn toggles_match_golden_toggle_stats() {
+        let stream: Vec<TernaryWord> = ["1010", "1010", "0110", "XX10", "1111"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let golden = ToggleStats::from_queries(&stream);
+        let mut total = 0u64;
+        let mut prev: Option<PackedQuery> = None;
+        for w in &stream {
+            let q = PackedQuery::from_word(w);
+            total += u64::from(q.toggles_from(prev.as_ref()));
+            prev = Some(q);
+        }
+        let expect = golden.transitions_per_search() * stream.len() as f64;
+        assert_eq!(total as f64, expect);
+    }
+
+    #[test]
+    fn top_value_extracts_msb_prefix() {
+        let q = PackedQuery::from_word(&"1011X".parse().unwrap());
+        assert_eq!(q.top_value(0), Some(0));
+        assert_eq!(q.top_value(2), Some(0b10));
+        assert_eq!(q.top_value(4), Some(0b1011));
+        assert_eq!(q.top_value(5), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Workload replay adapters: bridge the `ftcam-workloads` generators to
+//! the engine without materialising the full query stream.
+//!
+//! Each adapter builds the generator's table once and exposes the
+//! index-pure [`QuerySource`] so arbitrarily long streams can be replayed
+//! (or re-replayed chunk-wise) without holding them in memory.
+
+use ftcam_workloads::{
+    HdcQuerySource, HdcWorkload, HdcWorkloadParams, IpRoutingQuerySource, IpRoutingWorkload,
+    IpRoutingWorkloadParams, PacketClassifierParams, PacketClassifierWorkload, PacketQuerySource,
+    QuerySource, TcamTable, TernaryWord,
+};
+
+use crate::engine::{EngineConfig, TcamEngine};
+
+/// A query source from any of the three workload generators.
+#[derive(Debug, Clone)]
+pub enum AnySource {
+    /// IP-routing LPM lookups.
+    IpRouting(IpRoutingQuerySource),
+    /// Five-tuple packet-classifier lookups.
+    Packet(PacketQuerySource),
+    /// Noisy hyperdimensional-computing probes.
+    Hdc(HdcQuerySource),
+}
+
+impl QuerySource for AnySource {
+    fn width(&self) -> usize {
+        match self {
+            Self::IpRouting(s) => s.width(),
+            Self::Packet(s) => s.width(),
+            Self::Hdc(s) => s.width(),
+        }
+    }
+
+    fn query_at(&self, index: u64) -> TernaryWord {
+        match self {
+            Self::IpRouting(s) => s.query_at(index),
+            Self::Packet(s) => s.query_at(index),
+            Self::Hdc(s) => s.query_at(index),
+        }
+    }
+}
+
+/// A workload bound to the engine: the generated table plus its seed-stable
+/// query source.
+#[derive(Debug, Clone)]
+pub struct WorkloadReplay {
+    /// Workload name (appears in reports).
+    pub name: String,
+    /// The generated TCAM content.
+    pub table: TcamTable,
+    /// The index-pure query source.
+    pub source: AnySource,
+}
+
+impl WorkloadReplay {
+    /// Builds the IP-routing workload's table and source.
+    pub fn ip_routing(params: &IpRoutingWorkloadParams) -> Self {
+        let (table, source) = IpRoutingWorkload::new(params.clone()).build();
+        Self {
+            name: "ip_routing".to_string(),
+            table,
+            source: AnySource::IpRouting(source),
+        }
+    }
+
+    /// Builds the packet-classifier workload's table and source.
+    pub fn packet(params: &PacketClassifierParams) -> Self {
+        let (table, source) = PacketClassifierWorkload::new(params.clone()).build();
+        Self {
+            name: "packet".to_string(),
+            table,
+            source: AnySource::Packet(source),
+        }
+    }
+
+    /// Builds the HDC workload's table and source.
+    pub fn hdc(params: &HdcWorkloadParams) -> Self {
+        let (table, source) = HdcWorkload::new(params.clone()).build();
+        Self {
+            name: "hdc".to_string(),
+            table,
+            source: AnySource::Hdc(source),
+        }
+    }
+
+    /// Builds an engine over this workload's table.
+    pub fn engine(&self, config: EngineConfig) -> TcamEngine {
+        TcamEngine::new(&self.table, config)
+    }
+
+    /// Materialises queries `range.start..range.end` of the stream.
+    pub fn queries(&self, range: std::ops::Range<u64>) -> Vec<TernaryWord> {
+        self.source.stream(range).collect()
+    }
+}
+
+impl QuerySource for WorkloadReplay {
+    fn width(&self) -> usize {
+        self.source.width()
+    }
+
+    fn query_at(&self, index: u64) -> TernaryWord {
+        self.source.query_at(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapters_match_the_generators() {
+        let params = IpRoutingWorkloadParams {
+            queries: 32,
+            ..IpRoutingWorkloadParams::default()
+        };
+        let replay = WorkloadReplay::ip_routing(&params);
+        let workload = IpRoutingWorkload::new(params).generate();
+        assert_eq!(replay.table, workload.table);
+        assert_eq!(replay.queries(0..32), workload.queries);
+        assert_eq!(replay.width(), workload.table.width());
+    }
+
+    #[test]
+    fn replayed_searches_agree_with_golden_table() {
+        let replay = WorkloadReplay::packet(&PacketClassifierParams::default());
+        let engine = replay.engine(EngineConfig::default());
+        for q in replay.queries(0..16) {
+            assert_eq!(engine.search(&q), replay.table.search(&q).map(|i| i as u32));
+        }
+    }
+
+    #[test]
+    fn hdc_adapter_builds() {
+        let replay = WorkloadReplay::hdc(&HdcWorkloadParams::default());
+        let engine = replay.engine(EngineConfig::default());
+        let q = replay.query_at(0);
+        // Every HDC probe has a nearest stored vector.
+        assert!(engine.nearest(&q).is_some());
+    }
+}

@@ -1,0 +1,378 @@
+//! Bit-plane TCAM storage and the branch-free column kernels.
+//!
+//! Rows are grouped into blocks of 64. For each block the table stores, per
+//! digit column, two `u64` planes: `care` (bit set where the stored digit is
+//! definite) and `pattern` (bit set where it is `1`). Bit `r` of the plane
+//! word addresses row `block * 64 + r` of this table.
+//!
+//! A column mismatches a row exactly when both sides are definite and their
+//! bits differ, so one `u64` of per-column work resolves 64 rows at once:
+//!
+//! ```text
+//! miss = care_plane & q_care & (pattern_plane ^ q_pattern)
+//! ```
+//!
+//! where `q_care`/`q_pattern` are the query's broadcast masks (all-zeros or
+//! all-ones). Searches keep an `alive` mask per block and stop scanning
+//! columns as soon as it empties, which mirrors the dominant-case early
+//! termination of a real match-line: most rows die within a few digits.
+
+use ftcam_workloads::{TcamTable, Ternary};
+
+use crate::query::PackedQuery;
+
+/// Rows per storage block (one `u64` plane word).
+pub const BLOCK_ROWS: usize = 64;
+
+/// A TCAM (sub-)table in bit-plane layout.
+///
+/// Row handles returned by the kernels are *global* ids: the table keeps the
+/// original `TcamTable` index of every stored row, so sub-tables built from
+/// a row subset (shards, index buckets) report ids in the parent table's
+/// priority order.
+#[derive(Debug, Clone)]
+pub struct BitPlaneTable {
+    width: usize,
+    /// Global row ids, ascending — priority order is preserved.
+    row_ids: Vec<u32>,
+    /// Per-row wildcard counts (for LPM), parallel to `row_ids`.
+    wildcards: Vec<u16>,
+    /// `care[blk * width + col]`: definite-digit plane.
+    care: Vec<u64>,
+    /// `pattern[blk * width + col]`: stored-one plane.
+    pattern: Vec<u64>,
+    /// Per-column count of rows storing a definite `1`.
+    col_ones: Vec<u64>,
+    /// Per-column count of rows storing a definite `0`.
+    col_zeros: Vec<u64>,
+}
+
+impl BitPlaneTable {
+    /// Packs every row of `table`.
+    pub fn from_table(table: &TcamTable) -> Self {
+        Self::from_rows(table, 0..table.len())
+    }
+
+    /// Packs the rows of `table` whose indices fall in `range` (ascending).
+    pub fn from_rows(table: &TcamTable, range: std::ops::Range<usize>) -> Self {
+        Self::from_row_ids(table, range.map(|i| i as u32))
+    }
+
+    /// Packs an arbitrary ascending row-id selection from `table`.
+    pub fn from_row_ids(table: &TcamTable, ids: impl IntoIterator<Item = u32>) -> Self {
+        let width = table.width();
+        let row_ids: Vec<u32> = ids.into_iter().collect();
+        debug_assert!(row_ids.windows(2).all(|w| w[0] < w[1]));
+        let blocks = row_ids.len().div_ceil(BLOCK_ROWS);
+        let mut t = Self {
+            width,
+            wildcards: Vec::with_capacity(row_ids.len()),
+            care: vec![0; blocks * width],
+            pattern: vec![0; blocks * width],
+            col_ones: vec![0; width],
+            col_zeros: vec![0; width],
+            row_ids,
+        };
+        let rows = table.rows();
+        for (slot, &gid) in t.row_ids.iter().enumerate() {
+            let word = &rows[gid as usize];
+            let (blk, bit) = (slot / BLOCK_ROWS, slot % BLOCK_ROWS);
+            let base = blk * width;
+            let mut wc = 0u16;
+            for (col, &d) in word.digits().iter().enumerate() {
+                match d {
+                    Ternary::X => wc += 1,
+                    Ternary::Zero => {
+                        t.care[base + col] |= 1 << bit;
+                        t.col_zeros[col] += 1;
+                    }
+                    Ternary::One => {
+                        t.care[base + col] |= 1 << bit;
+                        t.pattern[base + col] |= 1 << bit;
+                        t.col_ones[col] += 1;
+                    }
+                }
+            }
+            t.wildcards.push(wc);
+        }
+        t
+    }
+
+    /// Word width in digits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// `true` if no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// Global row ids in storage (priority) order.
+    pub fn row_ids(&self) -> &[u32] {
+        &self.row_ids
+    }
+
+    /// Valid-row mask for block `blk` (handles the partial last block).
+    #[inline]
+    fn block_mask(&self, blk: usize) -> u64 {
+        let remaining = self.len() - blk * BLOCK_ROWS;
+        if remaining >= BLOCK_ROWS {
+            !0
+        } else {
+            (1u64 << remaining) - 1
+        }
+    }
+
+    /// Number of storage blocks.
+    #[inline]
+    fn blocks(&self) -> usize {
+        self.row_ids.len().div_ceil(BLOCK_ROWS)
+    }
+
+    /// Mask of matching rows within block `blk`.
+    #[inline]
+    fn match_block(&self, q: &PackedQuery, blk: usize) -> u64 {
+        let base = blk * self.width;
+        let mut alive = self.block_mask(blk);
+        for col in 0..self.width {
+            let qc = q.care_mask(col);
+            if qc == 0 {
+                continue;
+            }
+            let miss = self.care[base + col] & (self.pattern[base + col] ^ q.pattern_mask(col));
+            alive &= !miss;
+            if alive == 0 {
+                break;
+            }
+        }
+        alive
+    }
+
+    /// Lowest-priority-index matching row (global id), if any.
+    pub fn first_match(&self, q: &PackedQuery) -> Option<u32> {
+        for blk in 0..self.blocks() {
+            let alive = self.match_block(q, blk);
+            if alive != 0 {
+                let slot = blk * BLOCK_ROWS + alive.trailing_zeros() as usize;
+                return Some(self.row_ids[slot]);
+            }
+        }
+        None
+    }
+
+    /// Number of matching rows.
+    pub fn match_count(&self, q: &PackedQuery) -> u64 {
+        (0..self.blocks())
+            .map(|blk| u64::from(self.match_block(q, blk).count_ones()))
+            .sum()
+    }
+
+    /// Longest-prefix match: among matching rows, the one with the fewest
+    /// wildcard digits, ties broken by lowest global id. Returns
+    /// `(global_id, wildcard_count)`.
+    pub fn lpm(&self, q: &PackedQuery) -> Option<(u32, u16)> {
+        let mut best: Option<(u16, u32)> = None;
+        for blk in 0..self.blocks() {
+            let mut alive = self.match_block(q, blk);
+            while alive != 0 {
+                let bit = alive.trailing_zeros() as usize;
+                alive &= alive - 1;
+                let slot = blk * BLOCK_ROWS + bit;
+                let key = (self.wildcards[slot], self.row_ids[slot]);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(wc, gid)| (gid, wc))
+    }
+
+    /// Per-row mismatch counts for one block via bit-sliced (vertical)
+    /// ripple-carry counters: `counters[i]` holds bit `i` of each row's
+    /// count, so adding a column's miss mask is 64 row-increments at once.
+    #[inline]
+    fn count_block(&self, q: &PackedQuery, blk: usize, counters: &mut [u64]) {
+        counters.fill(0);
+        let base = blk * self.width;
+        for col in 0..self.width {
+            let qc = q.care_mask(col);
+            if qc == 0 {
+                continue;
+            }
+            let mut carry =
+                self.care[base + col] & (self.pattern[base + col] ^ q.pattern_mask(col));
+            for c in counters.iter_mut() {
+                let sum = *c ^ carry;
+                carry &= *c;
+                *c = sum;
+                if carry == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of counter planes needed for up to `width` mismatches.
+    #[inline]
+    fn counter_planes(&self) -> usize {
+        (usize::BITS - self.width.leading_zeros()) as usize + 1
+    }
+
+    /// Accumulates the per-row mismatch-count histogram for this query into
+    /// `hist` (indexed by mismatch count, length `width + 1`).
+    pub fn histogram_into(&self, q: &PackedQuery, hist: &mut [u64]) {
+        debug_assert!(hist.len() > self.width);
+        let mut counters = vec![0u64; self.counter_planes()];
+        for blk in 0..self.blocks() {
+            self.count_block(q, blk, &mut counters);
+            let mut valid = self.block_mask(blk);
+            while valid != 0 {
+                let bit = valid.trailing_zeros();
+                valid &= valid - 1;
+                let k: usize = counters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (((c >> bit) & 1) as usize) << i)
+                    .sum();
+                hist[k] += 1;
+            }
+        }
+    }
+
+    /// Sum of mismatch counts over all rows in `O(width)` using the
+    /// per-column content counts: a definite-`1` query digit mismatches
+    /// every stored definite `0` in that column and vice versa.
+    pub fn sum_mismatches(&self, q: &PackedQuery) -> u64 {
+        let mut sum = 0u64;
+        for col in 0..self.width {
+            if !q.is_definite(col) {
+                continue;
+            }
+            sum += if q.bit(col) {
+                self.col_zeros[col]
+            } else {
+                self.col_ones[col]
+            };
+        }
+        sum
+    }
+
+    /// Row with the fewest mismatches against `q` (nearest-Hamming query
+    /// over the definite digits), ties broken by lowest global id. Returns
+    /// `(global_id, mismatch_count)`; `None` only for an empty table.
+    pub fn nearest(&self, q: &PackedQuery) -> Option<(u32, u32)> {
+        let mut best: Option<(u32, u32)> = None;
+        let mut counters = vec![0u64; self.counter_planes()];
+        for blk in 0..self.blocks() {
+            self.count_block(q, blk, &mut counters);
+            let mut valid = self.block_mask(blk);
+            while valid != 0 {
+                let bit = valid.trailing_zeros();
+                valid &= valid - 1;
+                let k: u32 = counters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (((c >> bit) & 1) as u32) << i)
+                    .sum();
+                let slot = blk * BLOCK_ROWS + bit as usize;
+                let key = (k, self.row_ids[slot]);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(k, gid)| (gid, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcam_workloads::TernaryWord;
+
+    fn table(rows: &[&str]) -> TcamTable {
+        let mut t = TcamTable::new(rows[0].len());
+        for r in rows {
+            t.push(r.parse().unwrap());
+        }
+        t
+    }
+
+    fn pq(s: &str) -> PackedQuery {
+        PackedQuery::from_word(&s.parse::<TernaryWord>().unwrap())
+    }
+
+    #[test]
+    fn first_match_agrees_with_golden_model() {
+        let t = table(&["1010", "10XX", "XXXX", "0101"]);
+        let bp = BitPlaneTable::from_table(&t);
+        for q in ["1010", "1011", "0101", "0000", "XXXX", "10XX"] {
+            let word: TernaryWord = q.parse().unwrap();
+            assert_eq!(
+                bp.first_match(&pq(q)),
+                t.search(&word).map(|i| i as u32),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn lpm_prefers_fewest_wildcards_then_lowest_id() {
+        let t = table(&["10XX", "1010", "XXXX", "10XX"]);
+        let bp = BitPlaneTable::from_table(&t);
+        assert_eq!(bp.lpm(&pq("1010")), Some((1, 0)));
+        assert_eq!(bp.lpm(&pq("1011")), Some((0, 2)));
+        assert_eq!(bp.lpm(&pq("0000")), Some((2, 4)));
+    }
+
+    #[test]
+    fn histogram_and_sum_agree_with_mismatch_profile() {
+        let t = table(&["1010", "10XX", "XXXX", "0101", "1111"]);
+        let bp = BitPlaneTable::from_table(&t);
+        for q in ["1010", "0101", "1X00", "XXXX"] {
+            let word: TernaryWord = q.parse().unwrap();
+            let mut expect = vec![0u64; t.width() + 1];
+            for k in t.mismatch_profile(&word) {
+                expect[k] += 1;
+            }
+            let mut hist = vec![0u64; t.width() + 1];
+            bp.histogram_into(&pq(q), &mut hist);
+            assert_eq!(hist, expect, "query {q}");
+            let sum: u64 = hist.iter().enumerate().map(|(k, &c)| k as u64 * c).sum();
+            assert_eq!(bp.sum_mismatches(&pq(q)), sum, "query {q}");
+        }
+    }
+
+    #[test]
+    fn nearest_finds_min_mismatch_row() {
+        let t = table(&["1010", "0101", "111X"]);
+        let bp = BitPlaneTable::from_table(&t);
+        assert_eq!(bp.nearest(&pq("1110")), Some((2, 0)));
+        // Tie at k = 1 between rows 0 and 2: lowest id wins.
+        assert_eq!(bp.nearest(&pq("1011")), Some((0, 1)));
+        assert_eq!(bp.nearest(&pq("0101")), Some((1, 0)));
+        assert_eq!(bp.nearest(&pq("XXXX")), Some((0, 0)));
+        assert!(BitPlaneTable::from_table(&TcamTable::new(4))
+            .nearest(&pq("0000"))
+            .is_none());
+    }
+
+    #[test]
+    fn partial_blocks_and_sub_tables_report_global_ids() {
+        let mut t = TcamTable::new(8);
+        for i in 0..100u32 {
+            t.push(TernaryWord::from_bits(u64::from(i), 8));
+        }
+        let shard = BitPlaneTable::from_rows(&t, 70..100);
+        let q = PackedQuery::from_word(&TernaryWord::from_bits(85, 8));
+        assert_eq!(shard.first_match(&q), Some(85));
+        assert_eq!(shard.match_count(&q), 1);
+        assert_eq!(shard.len(), 30);
+    }
+}

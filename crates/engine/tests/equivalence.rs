@@ -1,0 +1,141 @@
+//! Property-based equivalence: the engine's bit-plane kernels (sharded,
+//! with and without the prefix index) must agree with the golden
+//! `TcamTable` model on every operation, for arbitrary ternary content —
+//! including all-X rows, all-X queries and empty tables.
+
+use ftcam_engine::{EngineConfig, TcamEngine};
+use ftcam_workloads::{TcamTable, Ternary, TernaryWord};
+use proptest::prelude::*;
+
+const WIDTH: usize = 10;
+
+fn ternary() -> impl Strategy<Value = Ternary> {
+    prop_oneof![Just(Ternary::Zero), Just(Ternary::One), Just(Ternary::X)]
+}
+
+fn word() -> impl Strategy<Value = TernaryWord> {
+    proptest::collection::vec(ternary(), WIDTH).prop_map(TernaryWord::new)
+}
+
+/// Prefix-heavy words (the index's favourable shape) mixed with fully
+/// random ternary words and the all-X row.
+fn row() -> impl Strategy<Value = TernaryWord> {
+    prop_oneof![
+        word(),
+        (any::<u16>(), 0usize..=WIDTH).prop_map(|(v, len)| TernaryWord::prefix(
+            u64::from(v),
+            len,
+            WIDTH
+        )),
+        Just(TernaryWord::all_x(WIDTH)),
+    ]
+}
+
+fn table(rows: Vec<TernaryWord>) -> TcamTable {
+    let mut t = TcamTable::new(WIDTH);
+    t.extend(rows);
+    t
+}
+
+/// Engines covering the interesting configurations: single shard, several
+/// shards, and a forced prefix index.
+fn engines(t: &TcamTable) -> Vec<TcamEngine> {
+    vec![
+        TcamEngine::new(t, EngineConfig::default()),
+        TcamEngine::new(
+            t,
+            EngineConfig {
+                shards: 3,
+                ..EngineConfig::default()
+            },
+        ),
+        TcamEngine::new(
+            t,
+            EngineConfig {
+                shards: 2,
+                index_min_rows: 1,
+                ..EngineConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Golden nearest-Hamming: min mismatch count, ties to lowest index.
+fn golden_nearest(t: &TcamTable, q: &TernaryWord) -> Option<(u32, u32)> {
+    t.mismatch_profile(q)
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k as u32, i as u32))
+        .min()
+        .map(|(k, i)| (i, k))
+}
+
+proptest! {
+    /// Priority match, LPM, match count and nearest-Hamming all agree with
+    /// the golden model for every engine configuration.
+    #[test]
+    fn engine_equals_golden_model(
+        rows in proptest::collection::vec(row(), 0..40),
+        queries in proptest::collection::vec(word(), 1..8),
+    ) {
+        let t = table(rows);
+        for engine in engines(&t) {
+            for q in &queries {
+                prop_assert_eq!(
+                    engine.search(q),
+                    t.search(q).map(|i| i as u32),
+                    "search, {} shards, indexed: {}",
+                    engine.config().shards,
+                    engine.is_indexed()
+                );
+                prop_assert_eq!(
+                    engine.lpm(q),
+                    t.longest_prefix_match(q).map(|i| i as u32),
+                    "lpm, {} shards, indexed: {}",
+                    engine.config().shards,
+                    engine.is_indexed()
+                );
+                prop_assert_eq!(
+                    engine.match_count(q),
+                    t.search_all(q).len() as u64,
+                    "match_count, {} shards, indexed: {}",
+                    engine.config().shards,
+                    engine.is_indexed()
+                );
+                prop_assert_eq!(
+                    engine.nearest(q),
+                    golden_nearest(&t, q),
+                    "nearest, {} shards, indexed: {}",
+                    engine.config().shards,
+                    engine.is_indexed()
+                );
+            }
+        }
+    }
+
+    /// All-X rows match every query; an all-X query matches every row.
+    #[test]
+    fn wildcard_extremes(rows in proptest::collection::vec(row(), 1..20)) {
+        let mut all = rows.clone();
+        all.insert(0, TernaryWord::all_x(WIDTH));
+        let t = table(all);
+        for engine in engines(&t) {
+            // The all-X row at index 0 wins priority for any query.
+            prop_assert_eq!(engine.search(&TernaryWord::from_bits(0, WIDTH)), Some(0));
+            // The all-X query matches every row.
+            prop_assert_eq!(engine.match_count(&TernaryWord::all_x(WIDTH)), t.len() as u64);
+        }
+    }
+
+    /// Empty tables answer nothing, in every configuration.
+    #[test]
+    fn empty_table(q in word()) {
+        let t = TcamTable::new(WIDTH);
+        for engine in engines(&t) {
+            prop_assert_eq!(engine.search(&q), None);
+            prop_assert_eq!(engine.lpm(&q), None);
+            prop_assert_eq!(engine.match_count(&q), 0);
+            prop_assert_eq!(engine.nearest(&q), None);
+        }
+    }
+}

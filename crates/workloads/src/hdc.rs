@@ -7,6 +7,10 @@
 //! entry. This generator stores random binary class vectors and produces
 //! queries by flipping each bit of a stored vector with probability
 //! `noise`.
+//!
+//! Queries obey the seed contract of [`crate::stream`]: the stored vectors
+//! are a pure function of the parameters, and query `i` (source class and
+//! noise pattern) is a pure function of the parameters and `i`.
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -14,6 +18,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::model::TcamTable;
+use crate::stream::{derive_seed, QuerySource, QUERY_DOMAIN};
 use crate::ternary::{Ternary, TernaryWord};
 use crate::Workload;
 
@@ -56,8 +61,12 @@ impl HdcWorkload {
         Self { params }
     }
 
-    /// Generates stored class vectors and noisy queries.
-    pub fn generate(&self) -> Workload {
+    /// Builds the stored class vectors and a seed-stable query source.
+    ///
+    /// The vectors are a pure function of the parameters; the returned
+    /// source derives query `i` (source class and noise pattern) purely
+    /// from `(params, i)` per the [`crate::stream`] seed contract.
+    pub fn build(&self) -> (TcamTable, HdcQuerySource) {
         let p = &self.params;
         let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
         let mut table = TcamTable::new(p.width);
@@ -67,26 +76,57 @@ impl HdcWorkload {
             vectors.push(v.clone());
             table.push(v);
         }
-        let mut queries = Vec::with_capacity(p.queries);
-        for _ in 0..p.queries {
-            let src = &vectors[rng.gen_range(0..vectors.len())];
-            let q: TernaryWord = src
-                .iter()
-                .map(|&d| {
-                    if rng.gen_bool(p.noise.clamp(0.0, 1.0)) {
-                        d.complement()
-                    } else {
-                        d
-                    }
-                })
-                .collect();
-            queries.push(q);
-        }
+        let source = HdcQuerySource {
+            width: p.width,
+            noise: p.noise.clamp(0.0, 1.0),
+            seed: p.seed,
+            vectors,
+        };
+        (table, source)
+    }
+
+    /// Generates stored class vectors and noisy queries.
+    pub fn generate(&self) -> Workload {
+        let p = self.params.clone();
+        let (table, source) = self.build();
+        let queries = source.stream(0..p.queries as u64).collect();
         Workload {
             name: format!("hdc/{}x{} p={}", p.classes, p.width, p.noise),
             table,
             queries,
         }
+    }
+}
+
+/// Seed-stable noisy-query source for an [`HdcWorkload`].
+///
+/// Each query picks a stored class vector and flips each bit with the
+/// configured noise probability, all derived per index.
+#[derive(Debug, Clone)]
+pub struct HdcQuerySource {
+    width: usize,
+    noise: f64,
+    seed: u64,
+    vectors: Vec<TernaryWord>,
+}
+
+impl QuerySource for HdcQuerySource {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn query_at(&self, index: u64) -> TernaryWord {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, QUERY_DOMAIN, index));
+        let src = &self.vectors[rng.gen_range(0..self.vectors.len())];
+        src.iter()
+            .map(|&d| {
+                if rng.gen_bool(self.noise) {
+                    d.complement()
+                } else {
+                    d
+                }
+            })
+            .collect()
     }
 }
 

@@ -6,6 +6,11 @@
 //! snapshots: prefix lengths concentrated at /24 (~55%), /16–/23 (~35%),
 //! with short prefixes rare. Queries are a mix of addresses covered by
 //! table entries (hits) and uniform random addresses (mostly misses).
+//!
+//! Queries obey the seed contract of [`crate::stream`]: the table is a pure
+//! function of the parameters, and query `i` is a pure function of the
+//! parameters and `i`, so chunked or multi-threaded replay reproduces the
+//! serial stream exactly.
 
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::Rng;
@@ -14,6 +19,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::model::TcamTable;
+use crate::stream::{derive_seed, QuerySource, QUERY_DOMAIN};
 use crate::ternary::TernaryWord;
 use crate::Workload;
 
@@ -56,8 +62,12 @@ impl IpRoutingWorkload {
         Self { params }
     }
 
-    /// Generates the table and query stream.
-    pub fn generate(&self) -> Workload {
+    /// Builds the routing table and a seed-stable query source for it.
+    ///
+    /// The table is generated longest-prefix-first (priority search
+    /// implements LPM); the returned source derives query `i` purely from
+    /// `(params, i)` per the [`crate::stream`] seed contract.
+    pub fn build(&self) -> (TcamTable, IpRoutingQuerySource) {
         let p = &self.params;
         let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
         // Prefix-length buckets modelled on public BGP snapshots, rescaled
@@ -83,24 +93,57 @@ impl IpRoutingWorkload {
         let mut table = TcamTable::new(p.width);
         table.extend(rows);
 
-        let mut queries = Vec::with_capacity(p.queries);
-        for _ in 0..p.queries {
-            let addr = if rng.gen_bool(p.hit_fraction.clamp(0.0, 1.0)) {
-                // Pick an entry and randomise the bits below its prefix.
-                let (value, len) = entry_values[rng.gen_range(0..entry_values.len())];
-                let noise: u64 = rng.gen::<u64>() & width_mask(p.width - len);
-                let kept = value & !width_mask(p.width - len);
-                kept | noise
-            } else {
-                rng.gen::<u64>() & width_mask(p.width)
-            };
-            queries.push(TernaryWord::from_bits(addr, p.width));
-        }
+        let source = IpRoutingQuerySource {
+            width: p.width,
+            hit_fraction: p.hit_fraction.clamp(0.0, 1.0),
+            seed: p.seed,
+            entry_values,
+        };
+        (table, source)
+    }
+
+    /// Generates the table and query stream.
+    pub fn generate(&self) -> Workload {
+        let p = self.params.clone();
+        let (table, source) = self.build();
+        let queries = source.stream(0..p.queries as u64).collect();
         Workload {
             name: format!("ip-routing/{}x{}", p.entries, p.width),
             table,
             queries,
         }
+    }
+}
+
+/// Seed-stable lookup-address source for an [`IpRoutingWorkload`] table.
+///
+/// Addresses are a mix of covered addresses (an entry's prefix with random
+/// host bits) and uniform random addresses, decided per index.
+#[derive(Debug, Clone)]
+pub struct IpRoutingQuerySource {
+    width: usize,
+    hit_fraction: f64,
+    seed: u64,
+    entry_values: Vec<(u64, usize)>,
+}
+
+impl QuerySource for IpRoutingQuerySource {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn query_at(&self, index: u64) -> TernaryWord {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, QUERY_DOMAIN, index));
+        let addr = if !self.entry_values.is_empty() && rng.gen_bool(self.hit_fraction) {
+            // Pick an entry and randomise the bits below its prefix.
+            let (value, len) = self.entry_values[rng.gen_range(0..self.entry_values.len())];
+            let noise: u64 = rng.gen::<u64>() & width_mask(self.width - len);
+            let kept = value & !width_mask(self.width - len);
+            kept | noise
+        } else {
+            rng.gen::<u64>() & width_mask(self.width)
+        };
+        TernaryWord::from_bits(addr, self.width)
     }
 }
 

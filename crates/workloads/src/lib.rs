@@ -29,13 +29,15 @@ mod ip_routing;
 mod model;
 mod packet;
 mod stats;
+pub mod stream;
 mod ternary;
 
-pub use hdc::{HdcWorkload, HdcWorkloadParams};
-pub use ip_routing::{IpRoutingWorkload, IpRoutingWorkloadParams};
+pub use hdc::{HdcQuerySource, HdcWorkload, HdcWorkloadParams};
+pub use ip_routing::{IpRoutingQuerySource, IpRoutingWorkload, IpRoutingWorkloadParams};
 pub use model::TcamTable;
-pub use packet::{PacketClassifierParams, PacketClassifierWorkload};
+pub use packet::{PacketClassifierParams, PacketClassifierWorkload, PacketQuerySource};
 pub use stats::{MismatchHistogram, ToggleStats};
+pub use stream::{derive_seed, QuerySource, QueryStream};
 pub use ternary::{ParseTernaryError, Ternary, TernaryWord};
 
 /// A generated workload: table content plus a query stream.

@@ -4,6 +4,11 @@
 //! destination port and protocol, concatenated into one ternary word. Field
 //! wildcarding follows the shape of published ClassBench-style rule sets:
 //! ports are usually wildcarded or exact, protocols mostly TCP/UDP/any.
+//!
+//! Headers obey the seed contract of [`crate::stream`]: the rule table is a
+//! pure function of the parameters, and header `i` is a pure function of
+//! the parameters and `i`, so chunked or multi-threaded replay reproduces
+//! the serial stream exactly.
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -11,6 +16,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::model::TcamTable;
+use crate::stream::{derive_seed, QuerySource, QUERY_DOMAIN};
 use crate::ternary::{Ternary, TernaryWord};
 use crate::Workload;
 
@@ -61,8 +67,12 @@ impl PacketClassifierWorkload {
         Self { params }
     }
 
-    /// Generates the rule table and header stream.
-    pub fn generate(&self) -> Workload {
+    /// Builds the rule table and a seed-stable header source for it.
+    ///
+    /// The table is a pure function of the parameters; the returned source
+    /// derives header `i` purely from `(params, i)` per the
+    /// [`crate::stream`] seed contract.
+    pub fn build(&self) -> (TcamTable, PacketQuerySource) {
         let p = &self.params;
         let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
         let mut table = TcamTable::new(p.width());
@@ -93,30 +103,61 @@ impl PacketClassifierWorkload {
             table.push(TernaryWord::new(digits));
         }
 
-        let mut queries = Vec::with_capacity(p.queries);
-        for _ in 0..p.queries {
-            let mut digits = Vec::with_capacity(p.width());
-            for _ in 0..2 {
-                let val: u64 = rng.gen();
-                push_prefix(&mut digits, val, p.addr_bits, p.addr_bits);
-            }
-            for _ in 0..2 {
-                let val: u64 = rng.gen();
-                push_prefix(&mut digits, val, p.port_bits, p.port_bits);
-            }
-            let proto = if rng.gen_bool(0.5) {
-                bits(0b0110, 4)
-            } else {
-                bits(0b1011, 4)
-            };
-            digits.extend(proto);
-            queries.push(TernaryWord::new(digits));
-        }
+        let source = PacketQuerySource {
+            addr_bits: p.addr_bits,
+            port_bits: p.port_bits,
+            seed: p.seed,
+        };
+        (table, source)
+    }
+
+    /// Generates the rule table and header stream.
+    pub fn generate(&self) -> Workload {
+        let p = self.params.clone();
+        let (table, source) = self.build();
+        let queries = source.stream(0..p.queries as u64).collect();
         Workload {
             name: format!("packet-classification/{}x{}", p.rules, p.width()),
             table,
             queries,
         }
+    }
+}
+
+/// Seed-stable packet-header source for a [`PacketClassifierWorkload`].
+///
+/// Headers are fully definite 5-tuples (random addresses and ports, TCP or
+/// UDP protocol tag), derived per index.
+#[derive(Debug, Clone)]
+pub struct PacketQuerySource {
+    addr_bits: usize,
+    port_bits: usize,
+    seed: u64,
+}
+
+impl QuerySource for PacketQuerySource {
+    fn width(&self) -> usize {
+        2 * self.addr_bits + 2 * self.port_bits + 4
+    }
+
+    fn query_at(&self, index: u64) -> TernaryWord {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(self.seed, QUERY_DOMAIN, index));
+        let mut digits = Vec::with_capacity(self.width());
+        for _ in 0..2 {
+            let val: u64 = rng.gen();
+            push_prefix(&mut digits, val, self.addr_bits, self.addr_bits);
+        }
+        for _ in 0..2 {
+            let val: u64 = rng.gen();
+            push_prefix(&mut digits, val, self.port_bits, self.port_bits);
+        }
+        let proto = if rng.gen_bool(0.5) {
+            bits(0b0110, 4)
+        } else {
+            bits(0b1011, 4)
+        };
+        digits.extend(proto);
+        TernaryWord::new(digits)
     }
 }
 

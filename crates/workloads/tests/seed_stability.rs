@@ -1,0 +1,120 @@
+//! Regression tests for the seed contract (`ftcam_workloads::stream`):
+//! tables are pure functions of the parameters, and query `i` is a pure
+//! function of `(parameters, i)`, so chunked or multi-threaded replay
+//! reproduces the serial stream exactly regardless of thread count.
+
+use std::ops::Range;
+use std::thread;
+
+use ftcam_workloads::{
+    HdcWorkload, HdcWorkloadParams, IpRoutingWorkload, IpRoutingWorkloadParams,
+    PacketClassifierParams, PacketClassifierWorkload, QuerySource, TernaryWord,
+};
+
+const QUERIES: u64 = 256;
+
+/// Splits `0..n` into `parts` contiguous ranges.
+fn chunks(n: u64, parts: u64) -> Vec<Range<u64>> {
+    let size = n.div_ceil(parts);
+    (0..parts)
+        .map(|i| (i * size).min(n)..((i + 1) * size).min(n))
+        .collect()
+}
+
+/// Generates each chunk on its own thread and concatenates in chunk order.
+fn threaded<S: QuerySource>(source: &S, n: u64, parts: u64) -> Vec<TernaryWord> {
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks(n, parts)
+            .into_iter()
+            .map(|r| scope.spawn(move || source.stream(r).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+fn assert_seed_stable<S: QuerySource>(source: &S, serial: &[TernaryWord]) {
+    // Random access equals serial position.
+    assert_eq!(source.query_at(0), serial[0]);
+    assert_eq!(
+        source.query_at(QUERIES - 1),
+        serial[QUERIES as usize - 1],
+        "random access diverged from serial stream"
+    );
+    // Chunked generation concatenates to the serial stream for any split.
+    for parts in [2, 3, 7] {
+        let chunked: Vec<TernaryWord> = chunks(QUERIES, parts)
+            .into_iter()
+            .flat_map(|r| source.stream(r).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(chunked, serial, "chunked into {parts} parts diverged");
+    }
+    // Thread-count invariance: disjoint ranges on 1, 2 and 4 threads all
+    // reproduce the serial stream.
+    for threads in [1, 2, 4] {
+        let parallel = threaded(source, QUERIES, threads);
+        assert_eq!(parallel, serial, "{threads}-thread generation diverged");
+    }
+}
+
+#[test]
+fn ip_routing_is_seed_stable() {
+    let gen = IpRoutingWorkload::new(IpRoutingWorkloadParams {
+        queries: QUERIES as usize,
+        ..IpRoutingWorkloadParams::default()
+    });
+    let (table, source) = gen.build();
+    let workload = gen.generate();
+    // The table is a pure function of the parameters...
+    assert_eq!(table, workload.table);
+    let (table2, _) = gen.build();
+    assert_eq!(table, table2);
+    // ...and the collected workload queries are the stream.
+    let serial: Vec<TernaryWord> = source.stream(0..QUERIES).collect();
+    assert_eq!(serial, workload.queries);
+    assert_seed_stable(&source, &serial);
+}
+
+#[test]
+fn packet_is_seed_stable() {
+    let gen = PacketClassifierWorkload::new(PacketClassifierParams {
+        queries: QUERIES as usize,
+        ..PacketClassifierParams::default()
+    });
+    let (table, source) = gen.build();
+    let workload = gen.generate();
+    assert_eq!(table, workload.table);
+    let serial: Vec<TernaryWord> = source.stream(0..QUERIES).collect();
+    assert_eq!(serial, workload.queries);
+    assert_seed_stable(&source, &serial);
+}
+
+#[test]
+fn hdc_is_seed_stable() {
+    let gen = HdcWorkload::new(HdcWorkloadParams {
+        queries: QUERIES as usize,
+        ..HdcWorkloadParams::default()
+    });
+    let (table, source) = gen.build();
+    let workload = gen.generate();
+    assert_eq!(table, workload.table);
+    let serial: Vec<TernaryWord> = source.stream(0..QUERIES).collect();
+    assert_eq!(serial, workload.queries);
+    assert_seed_stable(&source, &serial);
+}
+
+#[test]
+fn different_indices_give_different_queries() {
+    // Sanity: the per-index derivation does not collapse the stream.
+    let (_, source) = IpRoutingWorkload::new(IpRoutingWorkloadParams::default()).build();
+    let serial: Vec<TernaryWord> = source.stream(0..QUERIES).collect();
+    let distinct: std::collections::HashSet<String> =
+        serial.iter().map(|q| q.to_string()).collect();
+    assert!(
+        distinct.len() > QUERIES as usize / 2,
+        "only {} distinct queries",
+        distinct.len()
+    );
+}

@@ -1,0 +1,74 @@
+//! Workload-scale routing through the calibrated search engine: a
+//! 100k-prefix IPv4 table, a replayed query stream, and per-design energy
+//! metered by the calibration-exported cost model — the behavioural
+//! counterpart of `examples/ip_router.rs`, three orders of magnitude
+//! larger than the transistor-level golden-model pass can handle.
+//!
+//! ```text
+//! cargo run --release --example engine_router
+//! ```
+
+use ftcam::cells::DesignKind;
+use ftcam::core::Evaluator;
+use ftcam::engine::{pipeline, EngineConfig, Metering, WorkloadReplay};
+use ftcam::workloads::IpRoutingWorkloadParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const ENTRIES: usize = 100_000;
+    const QUERIES: u64 = 8192;
+    let designs = [
+        DesignKind::FeFet2T,
+        DesignKind::EaSlGated,
+        DesignKind::EaMlSegmented,
+        DesignKind::EaFull,
+    ];
+
+    // A BGP-shaped 100k-entry IPv4 routing table plus its query stream.
+    let replay = WorkloadReplay::ip_routing(&IpRoutingWorkloadParams {
+        entries: ENTRIES,
+        queries: QUERIES as usize,
+        width: 32,
+        ..IpRoutingWorkloadParams::default()
+    });
+    println!(
+        "table: {} ({} rows, width {})",
+        replay.name,
+        replay.table.len(),
+        replay.table.width()
+    );
+
+    // One transistor-level calibration per design (cached by the
+    // evaluator); each exports a cost model into the engine.
+    let eval = Evaluator::quick();
+    let mut engine = replay.engine(EngineConfig {
+        shards: 4,
+        metering: Metering::Sampled { period: 7 },
+        ..EngineConfig::default()
+    });
+    for kind in designs {
+        engine = engine.with_design(&eval.calibrations().get(kind, 32)?);
+    }
+    println!(
+        "engine: {} shard(s), prefix-indexed: {}, metering every 7th query\n",
+        engine.config().shards,
+        engine.is_indexed()
+    );
+
+    // Replay the stream through the batched pipeline.
+    let queries = replay.queries(0..QUERIES);
+    let stats = pipeline::replay(&engine, &queries, &eval.executor(), 256);
+
+    println!(
+        "replayed {} queries: {:.0} queries/sec, {:.1}% hit a prefix, {} metered",
+        stats.queries,
+        stats.queries_per_sec(),
+        100.0 * stats.hits as f64 / stats.queries.max(1) as f64,
+        stats.metered_queries,
+    );
+    println!("\n{:<16} {:>12}", "design", "pJ/query");
+    for kind in designs {
+        let pj = stats.pj_per_query(kind).ok_or("design not metered")?;
+        println!("{:<16} {:>12.3}", kind.key(), pj);
+    }
+    Ok(())
+}

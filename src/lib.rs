@@ -19,6 +19,7 @@
 //! | [`array`](mod@array) | `ftcam-array` | array models + Monte Carlo |
 //! | [`workloads`] | `ftcam-workloads` | ternary data + workload generators |
 //! | [`core`]      | `ftcam-core`      | evaluator + experiment drivers |
+//! | [`engine`](mod@engine) | `ftcam-engine` | calibrated bit-parallel search engine |
 //!
 //! # Quickstart
 //!
@@ -53,5 +54,6 @@ pub use ftcam_cells as cells;
 pub use ftcam_circuit as circuit;
 pub use ftcam_core as core;
 pub use ftcam_devices as devices;
+pub use ftcam_engine as engine;
 pub use ftcam_units as units;
 pub use ftcam_workloads as workloads;

@@ -1,0 +1,52 @@
+//! Tier-1 smoke of the behavioural search engine through the `ftcam`
+//! facade: an IP routing workload replayed end-to-end — functional
+//! agreement with the golden table, calibrated energy metering, and the
+//! e17 experiment driver.
+
+use ftcam::cells::DesignKind;
+use ftcam::core::{Artifact, Evaluator};
+use ftcam::engine::{experiments as e17, EngineConfig, WorkloadReplay};
+use ftcam::workloads::IpRoutingWorkloadParams;
+
+#[test]
+fn facade_engine_replays_ip_workload() {
+    let eval = Evaluator::quick();
+    let replay = WorkloadReplay::ip_routing(&IpRoutingWorkloadParams {
+        entries: 128,
+        queries: 64,
+        width: 16,
+        ..IpRoutingWorkloadParams::default()
+    });
+    let calib = eval
+        .calibrations()
+        .get(DesignKind::EaFull, 16)
+        .expect("calibration");
+    let engine = replay.engine(EngineConfig::default()).with_design(&calib);
+    // Functional agreement with the golden table on the replayed stream.
+    let queries = replay.queries(0..64);
+    for q in &queries {
+        assert_eq!(engine.search(q), replay.table.search(q).map(|i| i as u32));
+    }
+    // Metered replay produces a positive calibrated energy.
+    let mut session = engine.session();
+    session.replay(&queries);
+    let stats = session.finish();
+    assert_eq!(stats.queries, 64);
+    let pj = stats.pj_per_query(DesignKind::EaFull).expect("metered");
+    assert!(pj > 0.0 && pj.is_finite(), "pJ/query = {pj}");
+}
+
+#[test]
+fn e17_driver_runs_through_the_facade() {
+    let eval = Evaluator::quick();
+    let params = e17::Params {
+        row_counts: vec![128],
+        queries: 32,
+        designs: vec![DesignKind::FeFet2T],
+        ..e17::Params::default()
+    };
+    let Artifact::Table(table) = e17::run(&eval, &params).expect("e17 runs") else {
+        panic!("expected a table artifact");
+    };
+    assert!(table.cell("fefet2t", "128").expect("cell").is_finite());
+}
