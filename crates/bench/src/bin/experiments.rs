@@ -2,7 +2,8 @@
 //! (reconstructed) evaluation and prints/serialises them.
 //!
 //! ```text
-//! experiments [--full] [--adaptive] [--threads N] [--out DIR] [ID ...]
+//! experiments [--full] [--adaptive] [--threads N] [--out DIR]
+//!             [--bench-json PATH] [ID ...]
 //!
 //!   --full       paper-scale presets (slow; use a release build)
 //!   --adaptive   truncation-error-controlled time stepping (fewer,
@@ -12,6 +13,10 @@
 //!                core; 1 forces the serial path — output is identical
 //!                for any N)
 //!   --out DIR    artefact directory (default target/experiments)
+//!   --bench-json PATH
+//!                write a per-experiment perf report (wall-clock, step,
+//!                recovery and solver hot-path counters) as JSON — the
+//!                input of the CI perf-smoke gate (`perfcheck`)
 //!   ID           experiment ids (default: all)
 //!                fig2 fig3 table1 fig4 fig5 fig6 fig7 fig8 table2 fig9
 //!                fig10 table3
@@ -27,7 +32,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ftcam_bench::{save_artifact, DEFAULT_OUT_DIR};
+use ftcam_bench::{save_artifact, save_bench_report, BenchRecord, BenchReport, DEFAULT_OUT_DIR};
 use ftcam_cells::StepControl;
 use ftcam_core::{experiments, plot_figure, Artifact, Evaluator};
 
@@ -47,6 +52,7 @@ fn main() -> ExitCode {
     let mut adaptive = false;
     let mut threads: Option<usize> = None;
     let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
+    let mut bench_json: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,10 +73,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--bench-json" => match args.next() {
+                Some(path) => bench_json = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--bench-json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--full] [--adaptive] [--threads N] [--out DIR] \
-                     [ID ...]\nids: {} e17",
+                     [--bench-json PATH] [ID ...]\nids: {} e17",
                     experiments::ALL_IDS.join(" ")
                 );
                 return ExitCode::SUCCESS;
@@ -105,6 +118,7 @@ fn main() -> ExitCode {
     // experiment never costs the artifacts of the others. Failures are
     // collected and enumerated in a machine-readable summary at the end.
     let mut failures: Vec<(String, String)> = Vec::new();
+    let mut bench_records: Vec<BenchRecord> = Vec::new();
     for id in &ids {
         let started = Instant::now();
         // `e17` lives in the engine crate (a layer above `ftcam-core`'s
@@ -138,19 +152,38 @@ fn main() -> ExitCode {
                     );
                     println!(
                         "_steps: {} accepted / {} rejected / {} halving(s), \
-                         {} Newton iteration(s)_",
-                        s.steps.accepted, s.steps.rejected, s.steps.halvings, s.steps.newton_iters,
+                         {} Newton iteration(s); solver {} factorisation(s) / \
+                         {} substitution(s) ({:.0}% LU bypass), {} baseline reuse(s), \
+                         {} tape replay(s)_",
+                        s.steps.accepted,
+                        s.steps.rejected,
+                        s.steps.halvings,
+                        s.steps.newton_iters,
+                        s.solver.factorizations,
+                        s.solver.substitutions,
+                        s.solver.bypass_rate() * 100.0,
+                        s.solver.baseline_reuses,
+                        s.solver.tape_replays,
                     );
                     if !s.recovery.is_clean() {
                         println!(
                             "_recovery: {} gmin retry(ies) / {} damped retry(ies) / \
-                             {} non-finite rejection(s); {} step(s) recovered_",
+                             {} non-finite rejection(s); {} step(s) recovered; \
+                             {} dense demotion(s)_",
                             s.recovery.gmin_retries,
                             s.recovery.damped_retries,
                             s.recovery.nonfinite,
                             s.recovery.recovered_steps,
+                            s.recovery.dense_demotions,
                         );
                     }
+                    bench_records.push(BenchRecord {
+                        id: id.clone(),
+                        wall_nanos: s.wall_nanos,
+                        steps: s.steps,
+                        recovery: s.recovery,
+                        solver: s.solver,
+                    });
                 }
                 match save_artifact(&out_dir, &artifact) {
                     Ok(path) => println!(
@@ -167,6 +200,32 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("experiment {id} failed: {e}");
                 failures.push((id.clone(), e));
+            }
+        }
+    }
+    if let Some(path) = &bench_json {
+        let report = BenchReport {
+            preset: if full { "full" } else { "quick" }.to_string(),
+            stepping: if adaptive { "adaptive" } else { "fixed" }.to_string(),
+            threads: eval.threads(),
+            records: bench_records,
+        };
+        match save_bench_report(path, &report) {
+            Ok(()) => {
+                let solver = report.total_solver();
+                println!(
+                    "_bench: {} written — {:.2} s wall, {} factorisation(s), \
+                     {} LU bypass(es), {} tape replay(s)_",
+                    path.display(),
+                    report.total_wall_nanos() as f64 / 1e9,
+                    solver.factorizations,
+                    solver.lu_bypasses,
+                    solver.tape_replays,
+                );
+            }
+            Err(e) => {
+                eprintln!("failed to write bench report {}: {e}", path.display());
+                failures.push(("bench-json".to_string(), e.to_string()));
             }
         }
     }

@@ -15,7 +15,7 @@
 use ftcam_circuit::analysis::{Transient, TransientOpts};
 use ftcam_circuit::elements::{Capacitor, Resistor};
 use ftcam_circuit::waveform::Waveform;
-use ftcam_circuit::{Circuit, NewtonSettings, NodeId, PinId, RecoveryStats, StepStats};
+use ftcam_circuit::{Circuit, NewtonSettings, NodeId, PinId, RecoveryStats, SolverPerf, StepStats};
 use ftcam_devices::{Mosfet, TechCard};
 use ftcam_workloads::{TcamTable, TernaryWord};
 
@@ -60,6 +60,7 @@ pub struct ArrayTestbench {
     stored: TcamTable,
     step_stats: StepStats,
     recovery_stats: RecoveryStats,
+    solver_perf: SolverPerf,
     newton: NewtonSettings,
 }
 
@@ -207,6 +208,7 @@ impl ArrayTestbench {
             stored: TcamTable::new(width),
             step_stats: StepStats::default(),
             recovery_stats: RecoveryStats::default(),
+            solver_perf: SolverPerf::default(),
             newton: NewtonSettings::default(),
         })
     }
@@ -226,6 +228,12 @@ impl ArrayTestbench {
     /// testbench has run.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery_stats
+    }
+
+    /// Cumulative solver hot-path counters (factorisations, LU bypasses,
+    /// tape replays, ...) over every search this testbench has run.
+    pub fn solver_perf(&self) -> SolverPerf {
+        self.solver_perf
     }
 
     /// Overrides the Newton solver settings for every subsequent search.
@@ -323,6 +331,7 @@ impl ArrayTestbench {
             .map_err(CellError::from)?;
         self.step_stats += result.step_stats();
         self.recovery_stats += result.recovery_stats();
+        self.solver_perf += result.solver_perf();
 
         let t_sense = t_cycle + timing.t_precharge + timing.sense_offset;
         let mut row_matches = Vec::with_capacity(self.rows);

@@ -70,7 +70,9 @@ pub use write::{WriteOutcome, WriteTiming};
 
 // Solver knobs and statistics, re-exported so downstream crates can
 // configure the solver without depending on `ftcam-circuit` directly.
-pub use ftcam_circuit::{NewtonSettings, RecoveryStats, StepControl, StepStats};
+pub use ftcam_circuit::{
+    HotPath, NewtonSettings, RecoveryStats, SolverPerf, StepControl, StepStats,
+};
 
 // Fault-injection surface for chaos tests (see `ftcam_circuit::fault`).
 #[cfg(feature = "fault-injection")]

@@ -3,7 +3,9 @@
 use ftcam_circuit::analysis::{RecordMode, Transient, TransientOpts};
 use ftcam_circuit::elements::{Capacitor, Resistor};
 use ftcam_circuit::waveform::Waveform;
-use ftcam_circuit::{Circuit, Edge, NewtonSettings, NodeId, PinId, RecoveryStats, StepStats};
+use ftcam_circuit::{
+    Circuit, Edge, NewtonSettings, NodeId, PinId, RecoveryStats, SolverPerf, StepStats,
+};
 use ftcam_devices::{FeFet, Mosfet, MosfetParams, Polarity, TechCard};
 use ftcam_workloads::{Ternary, TernaryWord};
 
@@ -82,6 +84,7 @@ pub struct RowTestbench {
     stored: TernaryWord,
     step_stats: StepStats,
     recovery_stats: RecoveryStats,
+    solver_perf: SolverPerf,
     newton: NewtonSettings,
 }
 
@@ -271,6 +274,7 @@ impl RowTestbench {
             stored: TernaryWord::all_x(width),
             step_stats: StepStats::default(),
             recovery_stats: RecoveryStats::default(),
+            solver_perf: SolverPerf::default(),
             newton: NewtonSettings::default(),
         })
     }
@@ -290,6 +294,12 @@ impl RowTestbench {
     /// testbench has run (all-zero unless the solver needed the ladder).
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery_stats
+    }
+
+    /// Cumulative solver hot-path counters (factorisations, LU bypasses,
+    /// tape replays, ...) over every operation this testbench has run.
+    pub fn solver_perf(&self) -> SolverPerf {
+        self.solver_perf
     }
 
     /// The Newton solver settings applied to every transient this
@@ -460,6 +470,7 @@ impl RowTestbench {
                 .map_err(CellError::from)?;
             self.step_stats += result.step_stats();
             self.recovery_stats += result.recovery_stats();
+            self.solver_perf += result.solver_perf();
 
             // --- Measure the steady-state (second) cycle ---------------------
             let ml = result.trace(&self.ml_names[seg]).map_err(CellError::from)?;
@@ -633,6 +644,7 @@ impl RowTestbench {
             .map_err(CellError::from)?;
         self.step_stats += result.step_stats();
         self.recovery_stats += result.recovery_stats();
+        self.solver_perf += result.solver_perf();
 
         // Collect outcomes.
         let mut polarizations = Vec::with_capacity(2 * self.width);
@@ -818,6 +830,7 @@ impl RowTestbench {
             .map_err(CellError::from)?;
         self.step_stats += result.step_stats();
         self.recovery_stats += result.recovery_stats();
+        self.solver_perf += result.solver_perf();
         let ml = result.trace(&self.ml_names[seg]).map_err(CellError::from)?;
         let eval_start = t_cycle + timing.t_precharge;
         let t_sense = eval_start + timing.sense_offset;

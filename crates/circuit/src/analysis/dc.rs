@@ -6,6 +6,7 @@ use crate::analysis::newton::{self, NewtonSettings, NewtonWorkspace};
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
 use crate::node::NodeId;
+use crate::probe::record_global_solver;
 use crate::stamp::{CommitCtx, IntegrationMethod, VarMap};
 
 /// Solved DC operating point.
@@ -152,11 +153,17 @@ pub(crate) fn solve_dc(
         settings,
         &mut ws,
     ) {
-        Ok(iters) => return Ok((x, iters)),
+        Ok(iters) => {
+            record_global_solver(ws.perf);
+            return Ok((x, iters));
+        }
         Err(CircuitError::NewtonDiverged { .. })
         | Err(CircuitError::SingularMatrix { .. })
         | Err(CircuitError::NonFiniteSolution { .. }) => {}
-        Err(e) => return Err(e),
+        Err(e) => {
+            record_global_solver(ws.perf);
+            return Err(e);
+        }
     }
 
     // gmin homotopy: start with a strong shunt and relax it.
@@ -165,7 +172,7 @@ pub(crate) fn solve_dc(
     let mut gmin = 1e-2;
     loop {
         let stepped = NewtonSettings { gmin, ..*settings };
-        total_iters += newton::solve(
+        match newton::solve(
             circuit,
             vars,
             &mut x,
@@ -175,8 +182,15 @@ pub(crate) fn solve_dc(
             IntegrationMethod::BackwardEuler,
             &stepped,
             &mut ws,
-        )?;
+        ) {
+            Ok(iters) => total_iters += iters,
+            Err(e) => {
+                record_global_solver(ws.perf);
+                return Err(e);
+            }
+        }
         if gmin <= settings.gmin {
+            record_global_solver(ws.perf);
             return Ok((x, total_iters));
         }
         gmin = (gmin * 1e-2).max(settings.gmin);

@@ -5,5 +5,5 @@ mod newton;
 mod transient;
 
 pub use dc::{DcOperatingPoint, DcResult};
-pub use newton::NewtonSettings;
+pub use newton::{HotPath, NewtonSettings};
 pub use transient::{InitialState, RecordMode, StepControl, Transient, TransientOpts};

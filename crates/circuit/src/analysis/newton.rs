@@ -1,9 +1,92 @@
 //! Shared Newton–Raphson kernel used by the DC and transient analyses.
+//!
+//! The kernel has two assembly strategies, selected by [`HotPath`]:
+//!
+//! * **Legacy** — every Newton iteration clears the system and restamps
+//!   every device, then factors and solves. Simple, and the reference
+//!   behaviour the hot path is validated against.
+//! * **Incremental** (default) — devices are partitioned by
+//!   [`crate::StampClass`] into a *static* set (matrix stamp fixed within
+//!   one time point) and a *dynamic* set (restamped every iteration). The
+//!   static set plus the `gmin` shunts are stamped once per call into a
+//!   baseline snapshot; each iteration restores the snapshot and restamps
+//!   only the dynamic set. Both passes run through slot-resolved stamp
+//!   tapes ([`crate::linalg::StampTape`]) so steady-state assembly is
+//!   straight array writes with no hash lookups, and the LU factorisation
+//!   is reused across iterations (and across calls) where it is safe:
+//!   exactly for all-linear circuits, and as guarded chord-Newton steps
+//!   for nonlinear ones.
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, StampPartition};
 use crate::error::CircuitError;
-use crate::linalg::SystemMatrix;
+use crate::linalg::{StampTape, SystemMatrix};
+use crate::probe::SolverPerf;
 use crate::stamp::{IntegrationMethod, StampCtx, StampMode, VarMap};
+
+/// Chord-Newton staleness cap: force a fresh factorisation after this many
+/// consecutive substitutions against the same frozen factors. The
+/// contraction and damping guards usually refresh sooner; this bounds the
+/// worst case.
+const CHORD_MAX_AGE: u64 = 10;
+
+/// Toggles for the incremental-assembly Newton hot path.
+///
+/// All three optimisations are on by default; [`HotPath::legacy`] restores
+/// the reference full-restamp/full-factor behaviour. The flags are layered:
+/// `tape` and `lu_reuse` only take effect when `incremental` is on.
+///
+/// # Examples
+///
+/// ```
+/// use ftcam_circuit::HotPath;
+///
+/// assert!(HotPath::default().incremental);
+/// assert!(!HotPath::legacy().lu_reuse);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotPath {
+    /// Partition devices by [`crate::StampClass`], stamp the static set
+    /// once per time point into a baseline snapshot, and restamp only the
+    /// dynamic set each Newton iteration.
+    pub incremental: bool,
+    /// Record each assembly pass's `(row, col) → slot` writes into a
+    /// replayable tape, turning steady-state stamping into direct array
+    /// writes (no hash lookups). Replays are coordinate-verified, so a
+    /// pattern change degrades to the hash path instead of corrupting the
+    /// matrix.
+    pub tape: bool,
+    /// Reuse the LU factorisation across iterations and calls: exactly
+    /// (bit-identical) for all-linear circuits, and as guarded
+    /// chord-Newton steps for nonlinear transients.
+    pub lu_reuse: bool,
+}
+
+impl Default for HotPath {
+    fn default() -> Self {
+        Self {
+            incremental: true,
+            tape: true,
+            lu_reuse: true,
+        }
+    }
+}
+
+impl HotPath {
+    /// All optimisations enabled (same as `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reference behaviour: full restamp and full factorisation on every
+    /// Newton iteration.
+    pub fn legacy() -> Self {
+        Self {
+            incremental: false,
+            tape: false,
+            lu_reuse: false,
+        }
+    }
+}
 
 /// Convergence and robustness knobs for the Newton iteration.
 ///
@@ -39,6 +122,8 @@ pub struct NewtonSettings {
     pub max_voltage_step: f64,
     /// Shunt conductance from every free node to ground.
     pub gmin: f64,
+    /// Assembly/solve hot-path toggles; see [`HotPath`].
+    pub hot_path: HotPath,
     /// Deterministic fault to inject into every solve (chaos tests only;
     /// see [`crate::fault`]).
     #[cfg(feature = "fault-injection")]
@@ -54,6 +139,7 @@ impl Default for NewtonSettings {
             max_iters: 120,
             max_voltage_step: 0.5,
             gmin: 1e-12,
+            hot_path: HotPath::default(),
             #[cfg(feature = "fault-injection")]
             fault: None,
         }
@@ -90,6 +176,13 @@ impl NewtonSettings {
         self
     }
 
+    /// Selects the assembly/solve hot-path strategy; see [`HotPath`].
+    #[must_use]
+    pub fn with_hot_path(mut self, hot_path: HotPath) -> Self {
+        self.hot_path = hot_path;
+        self
+    }
+
     /// Attaches a deterministic fault plan consulted by every solve
     /// (chaos tests only; see [`crate::fault`]).
     #[cfg(feature = "fault-injection")]
@@ -100,17 +193,51 @@ impl NewtonSettings {
     }
 }
 
+/// Cache key for a frozen LU factorisation. Factors are only reused while
+/// every ingredient of the *static* part of the matrix is unchanged: the
+/// step size, the integration method, the `gmin` shunt, and the matrix
+/// structure epoch (which advances on sparse growth and dense demotion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FactorKey {
+    dt_bits: Option<u64>,
+    method: IntegrationMethod,
+    gmin_bits: u64,
+    epoch: u64,
+}
+
 /// Reusable buffers for the Newton iteration (avoids per-step allocation).
 ///
 /// The system matrix backend is picked from the unknown count: dense
 /// partial-pivot LU for small systems, sparse no-pivot LU (with symbolic
 /// reuse and automatic dense fallback) for large ones — see
-/// [`crate::linalg::SystemMatrix`].
+/// [`crate::linalg::SystemMatrix`]. Beyond the matrix and vectors this
+/// carries the hot-path state that persists across calls: the
+/// static/dynamic device partition, the two stamp tapes, the baseline
+/// snapshot, and the frozen-factor bookkeeping.
 #[derive(Debug)]
 pub(crate) struct NewtonWorkspace {
     pub matrix: SystemMatrix,
     pub rhs: Vec<f64>,
     pub x_new: Vec<f64>,
+    /// Hot-path counters accumulated across every solve through this
+    /// workspace; drained by the owning analysis.
+    pub perf: SolverPerf,
+    /// Computed from the circuit on first use; a circuit's device list is
+    /// fixed for the lifetime of an analysis (and its workspace).
+    partition: Option<StampPartition>,
+    static_tape: StampTape,
+    dynamic_tape: StampTape,
+    baseline_vals: Vec<f64>,
+    baseline_rhs: Vec<f64>,
+    scratch: Vec<f64>,
+    factor_key: Option<FactorKey>,
+    /// Substitutions served by the current factors since they were computed.
+    factor_age: u64,
+    /// `‖Δx‖∞` of the previous iteration, for the chord contraction guard.
+    prev_delta: f64,
+    /// Set by the guards when the frozen factors have gone stale; forces a
+    /// fresh factorisation on the next iteration.
+    force_refresh: bool,
 }
 
 impl NewtonWorkspace {
@@ -119,8 +246,114 @@ impl NewtonWorkspace {
             matrix: SystemMatrix::auto(n),
             rhs: vec![0.0; n],
             x_new: vec![0.0; n],
+            perf: SolverPerf::default(),
+            partition: None,
+            static_tape: StampTape::new(),
+            dynamic_tape: StampTape::new(),
+            baseline_vals: Vec::new(),
+            baseline_rhs: Vec::new(),
+            scratch: vec![0.0; n],
+            factor_key: None,
+            factor_age: 0,
+            prev_delta: f64::INFINITY,
+            force_refresh: false,
         }
     }
+}
+
+/// One stamping pass over a subset of devices, optionally recorded into or
+/// replayed from a slot tape. When `gmin` is `Some`, the free-node shunt
+/// diagonals are stamped at the end of the pass (so they land on the tape
+/// too). The caller clears the system before a baseline pass.
+#[allow(clippy::too_many_arguments)]
+fn assemble_pass(
+    circuit: &Circuit,
+    vars: &VarMap,
+    x: &[f64],
+    pinned: &[f64],
+    time: f64,
+    dt: Option<f64>,
+    method: IntegrationMethod,
+    matrix: &mut SystemMatrix,
+    rhs: &mut [f64],
+    indices: &[usize],
+    gmin: Option<f64>,
+    use_tape: bool,
+    tape: &mut StampTape,
+    perf: &mut SolverPerf,
+) {
+    let replaying = use_tape && matrix.begin_tape(std::mem::take(tape));
+    {
+        let mut ctx = StampCtx {
+            mode: StampMode::Assemble { matrix, rhs },
+            vars,
+            x,
+            pinned,
+            time,
+            dt,
+            method,
+        };
+        for &idx in indices {
+            circuit.devices[idx].stamp(&mut ctx);
+        }
+    }
+    if let Some(g) = gmin {
+        // gmin shunt on free node diagonals keeps floating nodes solvable.
+        for col in 0..vars.n_free {
+            matrix.add(col, col, g);
+        }
+    }
+    if use_tape {
+        let finished = matrix.end_tape();
+        if replaying {
+            if finished.is_valid() {
+                perf.tape_replays += 1;
+            } else {
+                perf.tape_mismatches += 1;
+            }
+        }
+        *tape = finished;
+    }
+}
+
+/// Damped update + convergence check shared by both solve loops. Damping
+/// only matters for nonlinear devices (it bounds the argument fed to
+/// exponentials); for linear systems the undamped solve is exact.
+/// Returns `(converged, scale)`.
+fn damped_update(
+    nonlinear: bool,
+    vars: &VarMap,
+    settings: &NewtonSettings,
+    x: &mut [f64],
+    x_new: &[f64],
+) -> (bool, f64) {
+    let scale = if nonlinear {
+        let mut max_dv: f64 = 0.0;
+        for (new, old) in x_new.iter().zip(x.iter()).take(vars.n_free) {
+            max_dv = max_dv.max((new - old).abs());
+        }
+        if max_dv > settings.max_voltage_step {
+            settings.max_voltage_step / max_dv
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+    let mut converged = true;
+    for (col, xi) in x.iter_mut().enumerate() {
+        let delta = (x_new[col] - *xi) * scale;
+        let (abstol, magnitude) = if col < vars.n_free {
+            (settings.abstol_v, x_new[col].abs())
+        } else {
+            (settings.abstol_i, x_new[col].abs())
+        };
+        if delta.abs() > abstol + settings.reltol * magnitude {
+            converged = false;
+        }
+        *xi += delta;
+    }
+    (converged, scale)
 }
 
 /// Runs Newton–Raphson at one time point, updating `x` in place.
@@ -153,13 +386,40 @@ pub(crate) fn solve(
             });
         }
     }
-    let max_iters = if circuit.has_nonlinear_devices() {
+    let nonlinear = circuit.has_nonlinear_devices();
+    let max_iters = if nonlinear {
         settings.max_iters
     } else {
         // One assembly + solve is exact for linear systems; a second pass
         // confirms the delta is below tolerance.
         2
     };
+    if settings.hot_path.incremental {
+        solve_incremental(
+            circuit, vars, x, pinned, time, dt, method, settings, ws, nonlinear, max_iters,
+        )
+    } else {
+        solve_legacy(
+            circuit, vars, x, pinned, time, dt, method, settings, ws, nonlinear, max_iters,
+        )
+    }
+}
+
+/// Reference loop: full restamp and full factorisation every iteration.
+#[allow(clippy::too_many_arguments)]
+fn solve_legacy(
+    circuit: &Circuit,
+    vars: &VarMap,
+    x: &mut [f64],
+    pinned: &[f64],
+    time: f64,
+    dt: Option<f64>,
+    method: IntegrationMethod,
+    settings: &NewtonSettings,
+    ws: &mut NewtonWorkspace,
+    nonlinear: bool,
+    max_iters: usize,
+) -> Result<usize, CircuitError> {
     for iter in 0..max_iters {
         ws.matrix.clear();
         ws.rhs.fill(0.0);
@@ -185,7 +445,10 @@ pub(crate) fn solve(
             ws.matrix.add(col, col, settings.gmin);
         }
         ws.x_new.copy_from_slice(&ws.rhs);
-        ws.matrix.solve_in_place(&mut ws.x_new)?;
+        ws.matrix.factor()?;
+        ws.matrix.substitute(&mut ws.x_new);
+        ws.perf.factorizations += 1;
+        ws.perf.substitutions += 1;
         #[cfg(feature = "fault-injection")]
         if let Some(plan) = &settings.fault {
             if plan.injects_nan(time, dt) {
@@ -201,42 +464,212 @@ pub(crate) fn solve(
                 iteration: iter,
             });
         }
-
-        // Damped update + convergence check. Damping only matters for
-        // nonlinear devices (it bounds the argument fed to exponentials);
-        // for linear systems the undamped solve is exact.
-        let scale = if circuit.has_nonlinear_devices() {
-            let mut max_dv: f64 = 0.0;
-            for (new, old) in ws.x_new.iter().zip(x.iter()).take(vars.n_free) {
-                max_dv = max_dv.max((new - old).abs());
-            }
-            if max_dv > settings.max_voltage_step {
-                settings.max_voltage_step / max_dv
-            } else {
-                1.0
-            }
-        } else {
-            1.0
-        };
-        let mut converged = true;
-        for (col, xi) in x.iter_mut().enumerate() {
-            let delta = (ws.x_new[col] - *xi) * scale;
-            let (abstol, magnitude) = if col < vars.n_free {
-                (settings.abstol_v, ws.x_new[col].abs())
-            } else {
-                (settings.abstol_i, ws.x_new[col].abs())
-            };
-            if delta.abs() > abstol + settings.reltol * magnitude {
-                converged = false;
-            }
-            *xi += delta;
-        }
+        let (converged, scale) = damped_update(nonlinear, vars, settings, x, &ws.x_new);
         if converged && (scale == 1.0) && iter > 0 {
             return Ok(iter + 1);
         }
         // Linear circuits: solution after first full (unscaled) update is
         // exact; accept immediately to save a reassembly.
-        if !circuit.has_nonlinear_devices() && scale == 1.0 {
+        if !nonlinear && scale == 1.0 {
+            return Ok(iter + 1);
+        }
+    }
+    Err(CircuitError::NewtonDiverged {
+        time,
+        iterations: max_iters,
+    })
+}
+
+/// Incremental-assembly hot path: baseline snapshot of the static set,
+/// per-iteration dynamic restamp, tape-accelerated stamping, and LU reuse
+/// (exact for all-linear circuits, guarded chord steps for nonlinear
+/// transients).
+#[allow(clippy::too_many_arguments)]
+fn solve_incremental(
+    circuit: &Circuit,
+    vars: &VarMap,
+    x: &mut [f64],
+    pinned: &[f64],
+    time: f64,
+    dt: Option<f64>,
+    method: IntegrationMethod,
+    settings: &NewtonSettings,
+    ws: &mut NewtonWorkspace,
+    nonlinear: bool,
+    max_iters: usize,
+) -> Result<usize, CircuitError> {
+    let n = vars.n_unknowns();
+    let hp = settings.hot_path;
+    if ws.partition.is_none() {
+        ws.partition = Some(circuit.stamp_partition());
+    }
+    // Destructure so the borrow checker sees the disjoint fields.
+    let NewtonWorkspace {
+        matrix,
+        rhs,
+        x_new,
+        perf,
+        partition,
+        static_tape,
+        dynamic_tape,
+        baseline_vals,
+        baseline_rhs,
+        scratch,
+        factor_key,
+        factor_age,
+        prev_delta,
+        force_refresh,
+    } = ws;
+    let part = partition.as_ref().expect("partition computed above");
+    // The chord contraction guard compares successive deltas *within* this
+    // call; the converged tail of the previous time point must not count.
+    *prev_delta = f64::INFINITY;
+    // Epoch the current baseline snapshot was taken at; a mismatch (sparse
+    // growth or dense demotion, including mid-call) forces a rebuild, since
+    // slot order — and therefore the snapshot layout — changed.
+    let mut baseline_epoch: Option<u64> = None;
+    for iter in 0..max_iters {
+        if baseline_epoch != Some(matrix.epoch()) {
+            matrix.clear();
+            rhs.fill(0.0);
+            assemble_pass(
+                circuit,
+                vars,
+                x,
+                pinned,
+                time,
+                dt,
+                method,
+                matrix,
+                rhs,
+                &part.static_devices,
+                Some(settings.gmin),
+                hp.tape,
+                static_tape,
+                perf,
+            );
+            baseline_vals.clear();
+            baseline_vals.extend_from_slice(matrix.values());
+            baseline_rhs.clear();
+            baseline_rhs.extend_from_slice(rhs);
+            baseline_epoch = Some(matrix.epoch());
+            perf.baseline_snapshots += 1;
+        } else {
+            matrix.restore_values(baseline_vals);
+            rhs.copy_from_slice(baseline_rhs);
+            perf.baseline_reuses += 1;
+        }
+        if !part.dynamic_devices.is_empty() {
+            assemble_pass(
+                circuit,
+                vars,
+                x,
+                pinned,
+                time,
+                dt,
+                method,
+                matrix,
+                rhs,
+                &part.dynamic_devices,
+                None,
+                hp.tape,
+                dynamic_tape,
+                perf,
+            );
+        }
+
+        let key = FactorKey {
+            dt_bits: dt.map(f64::to_bits),
+            method,
+            gmin_bits: settings.gmin.to_bits(),
+            epoch: matrix.epoch(),
+        };
+        let reusable = hp.lu_reuse && matrix.is_factored() && *factor_key == Some(key);
+        // All-linear circuits assemble a bit-identical matrix at a fixed
+        // key, so substituting against the cached factors is exactly the
+        // full solve.
+        let exact = reusable && part.all_linear;
+        // Chord Newton for nonlinear transients: keep the frozen factors
+        // while they contract, refresh on damping, staleness, or when the
+        // iteration budget starts running out (the last half of the budget
+        // always gets true Newton steps, so the recovery ladder sees the
+        // same worst-case behaviour as before).
+        let chord = reusable
+            && !part.all_linear
+            && nonlinear
+            && dt.is_some()
+            && !*force_refresh
+            && *factor_age < CHORD_MAX_AGE
+            && iter * 2 < max_iters;
+        let mut chord_step = false;
+        if exact {
+            x_new.copy_from_slice(rhs);
+            matrix.substitute(x_new);
+            *factor_age += 1;
+            perf.lu_bypasses += 1;
+        } else if chord {
+            // Residual form: d = F⁻¹·(z − A(x)·x) with F the frozen
+            // factors and A, z the freshly assembled system, so the fixed
+            // point is the true Newton fixed point, not F's.
+            matrix.mul_vec_into(x, scratch);
+            for i in 0..n {
+                x_new[i] = rhs[i] - scratch[i];
+            }
+            matrix.substitute(x_new);
+            for (xi_new, xi) in x_new.iter_mut().zip(x.iter()) {
+                *xi_new += *xi;
+            }
+            *factor_age += 1;
+            chord_step = true;
+            perf.lu_bypasses += 1;
+        } else {
+            matrix.factor()?;
+            // factor() may demote sparse→dense, which advances the epoch;
+            // key the fresh factors on the post-factor epoch.
+            *factor_key = Some(FactorKey {
+                epoch: matrix.epoch(),
+                ..key
+            });
+            *factor_age = 0;
+            *force_refresh = false;
+            *prev_delta = f64::INFINITY;
+            x_new.copy_from_slice(rhs);
+            matrix.substitute(x_new);
+            perf.factorizations += 1;
+        }
+        perf.substitutions += 1;
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &settings.fault {
+            if plan.injects_nan(time, dt) {
+                x_new[0] = f64::NAN;
+            }
+        }
+        // A NaN/Inf in the update means a poisoned stamp or an overflowed
+        // companion model; iterating further only launders the garbage
+        // through the damped update, so fail structurally right here.
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return Err(CircuitError::NonFiniteSolution {
+                time,
+                iteration: iter,
+            });
+        }
+        let mut delta_norm: f64 = 0.0;
+        for (new, old) in x_new.iter().zip(x.iter()) {
+            delta_norm = delta_norm.max((new - old).abs());
+        }
+        let (converged, scale) = damped_update(nonlinear, vars, settings, x, x_new);
+        if chord_step && (scale < 1.0 || delta_norm > 0.5 * *prev_delta) {
+            // The frozen Jacobian stopped contracting (or the step needed
+            // damping): refresh before the next iteration.
+            *force_refresh = true;
+        }
+        *prev_delta = delta_norm;
+        if converged && (scale == 1.0) && iter > 0 {
+            return Ok(iter + 1);
+        }
+        // Linear circuits: solution after first full (unscaled) update is
+        // exact; accept immediately to save a reassembly.
+        if !nonlinear && scale == 1.0 {
             return Ok(iter + 1);
         }
     }
@@ -271,5 +704,141 @@ pub(crate) fn measure_currents(
     };
     for dev in &circuit.devices {
         dev.stamp(&mut ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{Capacitor, Diode, Resistor};
+    use crate::stamp::CommitCtx;
+    use crate::waveform::Waveform;
+
+    /// An RC ladder wide enough to land on the sparse backend, with a
+    /// diode so the nonlinear (chord) path engages.
+    fn wide_ladder() -> Circuit {
+        let mut ckt = Circuit::new();
+        let rail = ckt.node("rail");
+        ckt.pin(rail, "VDD", Waveform::dc(1.0)).expect("pin");
+        let mut prev = rail;
+        for i in 0..crate::linalg::SPARSE_THRESHOLD {
+            let n = ckt.node(&format!("s{i}"));
+            ckt.add(Resistor::new(prev, n, 1e3));
+            ckt.add(Capacitor::new(n, ckt.ground(), 1e-15));
+            prev = n;
+        }
+        ckt.add(Diode::new(prev, ckt.ground(), 1e-15));
+        ckt
+    }
+
+    /// Steps the ladder `steps` times (with device commits, like the
+    /// transient engine) and returns the solution after every step.
+    /// `demote_at` forces a sparse→dense demotion before that step.
+    fn stepped_solutions(
+        hot_path: HotPath,
+        steps: usize,
+        demote_at: Option<usize>,
+    ) -> (Vec<Vec<f64>>, u64) {
+        let mut ckt = wide_ladder();
+        let vars = ckt.build_var_map();
+        let n = vars.n_unknowns();
+        let mut ws = NewtonWorkspace::new(n);
+        assert!(ws.matrix.is_sparse(), "ladder must start sparse");
+        let settings = NewtonSettings::new().with_hot_path(hot_path);
+        let dt = 1e-12;
+        let mut pinned = Vec::new();
+        let mut x = vec![0.0; n];
+        let mut out = Vec::new();
+        for step in 0..steps {
+            if demote_at == Some(step) {
+                ws.matrix.force_demote();
+            }
+            let t = (step as f64 + 1.0) * dt;
+            ckt.pinned_values_at(t, &mut pinned);
+            solve(
+                &ckt,
+                &vars,
+                &mut x,
+                &pinned,
+                t,
+                Some(dt),
+                IntegrationMethod::BackwardEuler,
+                &settings,
+                &mut ws,
+            )
+            .expect("step converges");
+            let ctx = CommitCtx {
+                vars: &vars,
+                x: &x,
+                pinned: &pinned,
+                time: t,
+                dt: Some(dt),
+                method: IntegrationMethod::BackwardEuler,
+            };
+            for dev in ckt.devices.iter_mut() {
+                dev.commit(&ctx);
+            }
+            out.push(x.clone());
+        }
+        (out, ws.matrix.demotions())
+    }
+
+    /// A forced mid-run sparse→dense demotion (new slot scheme, stale
+    /// tapes, stale baseline, stale factors) must not change the
+    /// trajectory: the epoch guard rebuilds everything and the run keeps
+    /// agreeing with the untouched legacy loop.
+    #[test]
+    fn incremental_survives_mid_run_demotion() {
+        let (legacy, d0) = stepped_solutions(HotPath::legacy(), 8, None);
+        let (hot, d1) = stepped_solutions(HotPath::default(), 8, Some(4));
+        assert_eq!(d0, 0);
+        assert_eq!(d1, 1, "demotion must be counted");
+        for (step, (l, h)) in legacy.iter().zip(hot.iter()).enumerate() {
+            for (a, b) in l.iter().zip(h.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "step {step}: legacy {a} vs hot-after-demotion {b}"
+                );
+            }
+        }
+    }
+
+    /// The chord/LU-reuse layer must actually bypass factorisations on a
+    /// steady run — and the tape must replay once the pattern froze.
+    #[test]
+    fn hot_path_reuses_factors_and_tapes() {
+        let mut ckt = wide_ladder();
+        let vars = ckt.build_var_map();
+        let n = vars.n_unknowns();
+        let mut ws = NewtonWorkspace::new(n);
+        let settings = NewtonSettings::default();
+        let dt = 1e-12;
+        let mut pinned = Vec::new();
+        let mut x = vec![0.0; n];
+        for step in 0..6 {
+            let t = (step as f64 + 1.0) * dt;
+            ckt.pinned_values_at(t, &mut pinned);
+            solve(
+                &ckt,
+                &vars,
+                &mut x,
+                &pinned,
+                t,
+                Some(dt),
+                IntegrationMethod::BackwardEuler,
+                &settings,
+                &mut ws,
+            )
+            .expect("step converges");
+        }
+        let perf = ws.perf;
+        assert!(perf.lu_bypasses > 0, "chord must bypass factorisations");
+        assert!(perf.tape_replays > 0, "tapes must replay: {perf:?}");
+        assert!(perf.baseline_reuses > 0, "baselines must be reused");
+        assert!(
+            perf.factorizations < perf.substitutions,
+            "reuse must beat refactoring: {perf:?}"
+        );
+        assert_eq!(perf.tape_mismatches, 0, "pattern is stable: {perf:?}");
     }
 }

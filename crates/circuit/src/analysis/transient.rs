@@ -10,8 +10,8 @@ use crate::circuit::Circuit;
 use crate::error::CircuitError;
 use crate::node::NodeId;
 use crate::probe::{
-    record_global_recovery, record_global_steps, RecoveryStats, StepStats, TraceStore,
-    TransientResult,
+    record_global_recovery, record_global_solver, record_global_steps, RecoveryStats, StepStats,
+    TraceStore, TransientResult,
 };
 use crate::stamp::{CommitCtx, IntegrationMethod, VarKind};
 
@@ -697,8 +697,10 @@ impl Transient {
                         step_recovered = true;
                         dt *= 0.5;
                         if dt < dt_floor {
+                            recovery.dense_demotions = ws.matrix.demotions();
                             record_global_steps(stats);
                             record_global_recovery(recovery);
+                            record_global_solver(ws.perf);
                             return Err(CircuitError::StepSizeUnderflow { time: t, dt });
                         }
                     }
@@ -793,8 +795,10 @@ impl Transient {
             stats.accepted += 1;
         }
 
+        recovery.dense_demotions = ws.matrix.demotions();
         record_global_steps(stats);
         record_global_recovery(recovery);
-        Ok(store.finish(pin_energy, device_energy, max_kcl, stats, recovery))
+        record_global_solver(ws.perf);
+        Ok(store.finish(pin_energy, device_energy, max_kcl, stats, recovery, ws.perf))
     }
 }

@@ -303,6 +303,57 @@ impl Circuit {
     pub(crate) fn has_nonlinear_devices(&self) -> bool {
         self.devices.iter().any(|d| d.is_nonlinear())
     }
+
+    /// Splits the device list into the static set (stamped once per time
+    /// point into the baseline) and the dynamic set (restamped every
+    /// Newton iteration), by index in insertion order.
+    ///
+    /// A nonlinear device is dynamic no matter what its
+    /// [`Device::stamp_class`] hint claims — the hint can only *promote*
+    /// restamping work to the baseline, never suppress a needed restamp.
+    /// `all_linear` is `true` when every device is
+    /// [`StampClass::Linear`][crate::device::StampClass::Linear], i.e. the
+    /// assembled matrix depends only on `(dt, method, gmin)` and an LU
+    /// factorisation can be carried across time points.
+    pub(crate) fn stamp_partition(&self) -> StampPartition {
+        let mut part = StampPartition {
+            static_devices: Vec::new(),
+            dynamic_devices: Vec::new(),
+            all_linear: true,
+        };
+        for (idx, dev) in self.devices.iter().enumerate() {
+            let class = if dev.is_nonlinear() {
+                crate::device::StampClass::Dynamic
+            } else {
+                dev.stamp_class()
+            };
+            match class {
+                crate::device::StampClass::Linear => part.static_devices.push(idx),
+                crate::device::StampClass::TimeVarying => {
+                    part.static_devices.push(idx);
+                    part.all_linear = false;
+                }
+                crate::device::StampClass::Dynamic => {
+                    part.dynamic_devices.push(idx);
+                    part.all_linear = false;
+                }
+            }
+        }
+        part
+    }
+}
+
+/// Result of [`Circuit::stamp_partition`]: device indices by stamp role.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StampPartition {
+    /// Devices whose matrix stamp is fixed within one time point's Newton
+    /// loop (`Linear` + `TimeVarying`): stamped once into the baseline.
+    pub static_devices: Vec<usize>,
+    /// Devices restamped every Newton iteration (`Dynamic`).
+    pub dynamic_devices: Vec<usize>,
+    /// `true` when every device is `Linear`, making the matrix identical
+    /// across time points at a fixed `(dt, method, gmin)`.
+    pub all_linear: bool,
 }
 
 #[cfg(test)]

@@ -22,6 +22,35 @@ impl std::fmt::Display for DeviceId {
     }
 }
 
+/// How a device's *matrix* contribution varies across a transient — the
+/// static/dynamic partition hint behind the incremental-assembly Newton
+/// hot path ([`crate::analysis::HotPath`]).
+///
+/// The classification is about the Jacobian (matrix) stamp only; the
+/// right-hand side may vary with time in every class (a voltage source is
+/// `Linear` even though `v(t)` changes every step — its matrix stamp is
+/// the constant ±1 KCL pattern).
+///
+/// Misclassification trades performance for correctness in exactly one
+/// direction: claiming `Dynamic` for a linear device only costs restamps,
+/// while claiming `Linear` for a device whose matrix stamp actually moves
+/// would silently freeze it — hence the conservative `Dynamic` default on
+/// the trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StampClass {
+    /// Matrix stamp depends only on `(dt, method)` — constant across all
+    /// Newton iterations *and* all time points at a fixed step size
+    /// (resistors, capacitor companions, ideal source branch rows).
+    Linear,
+    /// Matrix stamp depends on time but not on the candidate solution
+    /// (timed switches): constant within one time point's Newton loop,
+    /// restamped between points.
+    TimeVarying,
+    /// Matrix stamp depends on the candidate solution (diodes, MOSFETs,
+    /// FeFETs) — must be restamped every Newton iteration.
+    Dynamic,
+}
+
 /// A circuit element that can stamp itself into the MNA system.
 ///
 /// The simulator drives devices through three entry points:
@@ -80,6 +109,22 @@ pub trait Device: Any + std::fmt::Debug + Send {
     /// the engine uses this to pick the iteration limit.
     fn is_nonlinear(&self) -> bool {
         false
+    }
+
+    /// How this device's matrix stamp varies across a transient — the
+    /// static/dynamic partition hint for the incremental-assembly hot
+    /// path; see [`StampClass`].
+    ///
+    /// The conservative default is [`StampClass::Dynamic`] (restamp every
+    /// Newton iteration), which is always correct. Devices whose matrix
+    /// contribution is fixed per `(dt, method)` should override this with
+    /// [`StampClass::Linear`] to be stamped once per time point into the
+    /// shared baseline; devices varying with time but not with the
+    /// candidate solution should return [`StampClass::TimeVarying`].
+    /// Nonlinear devices ([`Device::is_nonlinear`]) are always treated as
+    /// dynamic regardless of this hint.
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Dynamic
     }
 
     /// Instantaneous dissipated power (watts) at the committed solution.

@@ -1,6 +1,6 @@
 //! Linear capacitor with backward-Euler / trapezoidal companion models.
 
-use crate::device::Device;
+use crate::device::{Device, StampClass};
 use crate::node::NodeId;
 use crate::stamp::{CommitCtx, IntegrationMethod, StampCtx};
 
@@ -117,6 +117,13 @@ impl Device for Capacitor {
         let (geq, ieq) = self.companion(dt, ctx.method());
         ctx.stamp_conductance(self.a, self.b, geq);
         ctx.stamp_current(self.a, self.b, ieq);
+    }
+
+    // The companion conductance C/dt (or 2C/dt) depends only on (dt,
+    // method); the history current ieq lands on the rhs, which every
+    // class may vary.
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Linear
     }
 
     fn commit(&mut self, ctx: &CommitCtx<'_>) {

@@ -1,6 +1,6 @@
 //! Shockley diode — the canonical nonlinear element.
 
-use crate::device::Device;
+use crate::device::{Device, StampClass};
 use crate::node::NodeId;
 use crate::stamp::{CommitCtx, StampCtx};
 
@@ -92,6 +92,10 @@ impl Device for Diode {
 
     fn is_nonlinear(&self) -> bool {
         true
+    }
+
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Dynamic
     }
 
     fn dissipated_power(&self, ctx: &CommitCtx<'_>) -> Option<f64> {

@@ -1,6 +1,6 @@
 //! Linear resistor.
 
-use crate::device::Device;
+use crate::device::{Device, StampClass};
 use crate::node::NodeId;
 use crate::stamp::{CommitCtx, StampCtx};
 
@@ -66,6 +66,10 @@ impl Resistor {
 impl Device for Resistor {
     fn stamp(&self, ctx: &mut StampCtx<'_>) {
         ctx.stamp_conductance(self.a, self.b, self.conductance);
+    }
+
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Linear
     }
 
     fn spice_lines(&self, names: &dyn Fn(NodeId) -> String, label: &str) -> Option<String> {

@@ -5,7 +5,7 @@
 //! cases pinning cannot express: floating sources, series current
 //! measurement, and current injection.
 
-use crate::device::Device;
+use crate::device::{Device, StampClass};
 use crate::node::NodeId;
 use crate::stamp::{CommitCtx, StampCtx};
 use crate::waveform::Waveform;
@@ -68,6 +68,12 @@ impl Device for VoltageSource {
         ctx.stamp_branch_voltage(self.branch, self.plus, self.minus, v);
     }
 
+    // The matrix stamp is the constant ±1 KCL/branch pattern; only the
+    // rhs carries v(t).
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Linear
+    }
+
     fn branch_count(&self) -> usize {
         1
     }
@@ -120,6 +126,11 @@ impl Device for CurrentSource {
     fn stamp(&self, ctx: &mut StampCtx<'_>) {
         let i = self.wave.value(ctx.time());
         ctx.stamp_current(self.from, self.to, i);
+    }
+
+    // Pure rhs contribution; no matrix stamp at all.
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Linear
     }
 
     fn breakpoints(&self, t_stop: f64) -> Vec<f64> {

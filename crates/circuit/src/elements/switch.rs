@@ -1,6 +1,6 @@
 //! Time-scheduled ideal switch.
 
-use crate::device::Device;
+use crate::device::{Device, StampClass};
 use crate::node::NodeId;
 use crate::stamp::{CommitCtx, StampCtx};
 
@@ -104,6 +104,11 @@ impl Device for TimedSwitch {
 
     fn stamp(&self, ctx: &mut StampCtx<'_>) {
         ctx.stamp_conductance(self.a, self.b, self.conductance_at(ctx.time()));
+    }
+
+    // g(t) moves with time but never with the candidate solution.
+    fn stamp_class(&self) -> StampClass {
+        StampClass::TimeVarying
     }
 
     fn dissipated_power(&self, ctx: &CommitCtx<'_>) -> Option<f64> {

@@ -68,14 +68,14 @@ mod spice;
 mod stamp;
 pub mod waveform;
 
-pub use analysis::{NewtonSettings, StepControl};
+pub use analysis::{HotPath, NewtonSettings, StepControl};
 pub use circuit::{Circuit, PinId};
-pub use device::{Device, DeviceId};
+pub use device::{Device, DeviceId, StampClass};
 pub use error::CircuitError;
 pub use node::NodeId;
 pub use probe::{
-    global_recovery_stats, global_step_stats, Edge, RecoveryStats, StepStats, Trace,
-    TransientResult,
+    global_recovery_stats, global_solver_stats, global_step_stats, Edge, RecoveryStats, SolverPerf,
+    StepStats, Trace, TransientResult,
 };
 pub(crate) use spice::spice_waveform;
 pub use spice::{export_spice, format_spice_number};

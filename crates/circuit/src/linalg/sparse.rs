@@ -8,10 +8,15 @@
 //! **up-looking row LU without pivoting**:
 //!
 //! 1. a one-time *symbolic* pass computes the union pattern of every row of
-//!    `L`/`U` including fill-in;
-//! 2. each *numeric* pass scatters a row into a dense workspace, eliminates
-//!    against the already-factorised rows following the precomputed
-//!    pattern, and gathers the results.
+//!    `L`/`U` including fill-in, plus flat offsets into persistent factor
+//!    storage;
+//! 2. each *numeric* pass ([`SparseMatrix::factor`]) scatters a row into a
+//!    dense workspace, eliminates against the already-factorised rows
+//!    following the precomputed pattern, and gathers the results into the
+//!    flat `L`/`U` value arrays — no per-solve allocation;
+//! 3. [`SparseMatrix::substitute`] applies the stored factors to a
+//!    right-hand side, so one factorisation can serve many solves (chord
+//!    Newton, repeated linear steps).
 //!
 //! Because the sparsity pattern of an MNA system is fixed across Newton
 //! iterations and time steps, the symbolic pass is paid once per analysis.
@@ -39,8 +44,19 @@ pub struct SparseMatrix {
     coords: Vec<(u32, u32)>,
     /// Current numeric values per slot.
     values: Vec<f64>,
-    /// Symbolic factorisation, built lazily on first solve.
+    /// Symbolic factorisation, built lazily on first factor.
     symbolic: Option<Symbolic>,
+    /// Flat `L` factor values (layout given by `Symbolic::l_off`).
+    l_vals: Vec<f64>,
+    /// Flat `U` factor values (layout given by `Symbolic::u_off`;
+    /// `u_vals[u_off[i]]` is the diagonal of permuted row `i`).
+    u_vals: Vec<f64>,
+    /// Dense scatter workspace for the numeric pass.
+    work: Vec<f64>,
+    /// Permuted-rhs scratch for substitution.
+    pb: Vec<f64>,
+    /// Whether `l_vals`/`u_vals` hold a valid decomposition.
+    factored: bool,
 }
 
 /// Precomputed elimination patterns (in permuted index space).
@@ -60,6 +76,12 @@ struct Symbolic {
     /// For each permuted row `i`: `(permuted column, value-slot)` pairs of
     /// the structural nonzeros of `A` (scatter list for the numeric pass).
     row_slots: Vec<Vec<(u32, u32)>>,
+    /// Prefix offsets of each permuted row into the flat `L` value array
+    /// (`len == n + 1`).
+    l_off: Vec<u32>,
+    /// Prefix offsets of each permuted row into the flat `U` value array
+    /// (`len == n + 1`).
+    u_off: Vec<u32>,
 }
 
 impl SparseMatrix {
@@ -71,6 +93,11 @@ impl SparseMatrix {
             coords: Vec::new(),
             values: Vec::new(),
             symbolic: None,
+            l_vals: Vec::new(),
+            u_vals: Vec::new(),
+            work: Vec::new(),
+            pb: Vec::new(),
+            factored: false,
         }
     }
 
@@ -84,35 +111,63 @@ impl SparseMatrix {
         self.values.len()
     }
 
-    /// Zeroes all values, keeping the structure (and the symbolic
-    /// factorisation if one was computed).
+    /// Zeroes all values, keeping the structure, the symbolic
+    /// factorisation, and any stored numeric factors (chord Newton
+    /// reassembles values while substituting against frozen factors).
     pub fn clear(&mut self) {
         self.values.fill(0.0);
+    }
+
+    /// The backing value storage, indexed by slot (insertion order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the backing value storage.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Adds `value` at `(row, col)` — the MNA stamping primitive.
     ///
     /// The first add at a new coordinate extends the structure and
-    /// invalidates the symbolic factorisation; subsequent adds are O(1)
-    /// hash lookups. Stamp patterns are fixed in MNA, so steady state is
-    /// reached after the first assembly.
+    /// invalidates the symbolic and numeric factorisations; subsequent adds
+    /// are O(1) hash lookups. Stamp patterns are fixed in MNA, so steady
+    /// state is reached after the first assembly. Returns the value slot
+    /// and whether the structure grew, so callers can record a replayable
+    /// stamp tape.
     ///
     /// # Panics
     ///
     /// Panics if `row` or `col` is out of bounds.
-    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+    pub fn add(&mut self, row: usize, col: usize, value: f64) -> (u32, bool) {
         assert!(row < self.n && col < self.n, "index out of bounds");
         let key = (row as u32, col as u32);
         match self.slots.get(&key) {
-            Some(&slot) => self.values[slot as usize] += value,
+            Some(&slot) => {
+                self.values[slot as usize] += value;
+                (slot, false)
+            }
             None => {
                 let slot = self.values.len() as u32;
                 self.slots.insert(key, slot);
                 self.coords.push(key);
                 self.values.push(value);
                 self.symbolic = None;
+                self.factored = false;
+                (slot, true)
             }
         }
+    }
+
+    /// Adds `value` at a slot previously returned by [`SparseMatrix::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    #[inline]
+    pub fn add_slot(&mut self, slot: u32, value: f64) {
+        self.values[slot as usize] += value;
     }
 
     /// Dense copy of the current values (for the fallback path and tests).
@@ -122,6 +177,20 @@ impl SparseMatrix {
             dense.add(r as usize, c as usize, self.values[slot]);
         }
         dense
+    }
+
+    /// Computes `y = A·x` from the stamped values (not the factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` does not have length `n`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.fill(0.0);
+        for (slot, &(r, c)) in self.coords.iter().enumerate() {
+            y[r as usize] += self.values[slot] * x[c as usize];
+        }
     }
 
     /// Builds (or reuses) the symbolic factorisation.
@@ -209,18 +278,138 @@ impl SparseMatrix {
             lower.push(lo);
             upper.push(up);
         }
+        // Flat offsets into the persistent factor-value arrays.
+        let mut l_off = Vec::with_capacity(n + 1);
+        let mut u_off = Vec::with_capacity(n + 1);
+        let (mut la, mut ua) = (0u32, 0u32);
+        l_off.push(0);
+        u_off.push(0);
+        for i in 0..n {
+            la += lower[i].len() as u32;
+            ua += upper[i].len() as u32;
+            l_off.push(la);
+            u_off.push(ua);
+        }
         self.symbolic = Some(Symbolic {
             perm,
             lower,
             upper,
             row_slots,
+            l_off,
+            u_off,
         });
+    }
+
+    /// `true` when a valid factorisation is stored.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Factorises the current values into the persistent flat `L`/`U`
+    /// arrays; the stamped values are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularMatrix`] when a pivot falls below
+    /// the tolerance — the caller should fall back to dense partial-pivot
+    /// LU. A failed factorisation invalidates any previously stored
+    /// factors.
+    pub fn factor(&mut self) -> Result<(), CircuitError> {
+        self.ensure_symbolic();
+        let symbolic = self.symbolic.as_ref().expect("just ensured");
+        let n = self.n;
+        self.factored = false;
+        let l_len = symbolic.l_off[n] as usize;
+        let u_len = symbolic.u_off[n] as usize;
+        self.l_vals.clear();
+        self.l_vals.resize(l_len, 0.0);
+        self.u_vals.clear();
+        self.u_vals.resize(u_len, 0.0);
+        self.work.clear();
+        self.work.resize(n, 0.0);
+
+        for i in 0..n {
+            // Scatter A[i, *].
+            for &(c, slot) in &symbolic.row_slots[i] {
+                self.work[c as usize] += self.values[slot as usize];
+            }
+            // Eliminate against prior rows in ascending pivot order.
+            let l_base = symbolic.l_off[i] as usize;
+            for (idx, &k) in symbolic.lower[i].iter().enumerate() {
+                let k = k as usize;
+                let uk_base = symbolic.u_off[k] as usize;
+                let ukk = self.u_vals[uk_base];
+                let factor = self.work[k] / ukk;
+                self.work[k] = 0.0;
+                self.l_vals[l_base + idx] = factor;
+                if factor != 0.0 {
+                    let up_k = &symbolic.upper[k];
+                    for (u_idx, &j) in up_k.iter().enumerate().skip(1) {
+                        self.work[j as usize] -= factor * self.u_vals[uk_base + u_idx];
+                    }
+                }
+            }
+            // Gather U[i, *].
+            let u_base = symbolic.u_off[i] as usize;
+            for (u_idx, &j) in symbolic.upper[i].iter().enumerate() {
+                self.u_vals[u_base + u_idx] = self.work[j as usize];
+                self.work[j as usize] = 0.0;
+            }
+            let diag = self.u_vals[u_base];
+            if diag.abs() < PIVOT_TOL || !diag.is_finite() {
+                return Err(CircuitError::SingularMatrix { pivot: i });
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the stored factors, overwriting `b` with the
+    /// solution. The factors stay valid for further substitutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no factorisation is stored or `b.len()` differs from the
+    /// dimension.
+    pub fn substitute(&mut self, b: &mut [f64]) {
+        assert!(self.factored, "substitute without a factorisation");
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        let symbolic = self.symbolic.as_ref().expect("factored implies symbolic");
+        let n = self.n;
+        // Permute the right-hand side into elimination order.
+        self.pb.clear();
+        self.pb
+            .extend(symbolic.perm.iter().map(|&old| b[old as usize]));
+        // Forward substitution: L·y = P·b (L unit-diagonal).
+        for i in 0..n {
+            let l_base = symbolic.l_off[i] as usize;
+            let mut acc = self.pb[i];
+            for (idx, &k) in symbolic.lower[i].iter().enumerate() {
+                acc -= self.l_vals[l_base + idx] * self.pb[k as usize];
+            }
+            self.pb[i] = acc;
+        }
+        // Back substitution: U·(P·x) = y.
+        for i in (0..n).rev() {
+            let u_base = symbolic.u_off[i] as usize;
+            let mut acc = self.pb[i];
+            for (idx, &j) in symbolic.upper[i].iter().enumerate().skip(1) {
+                acc -= self.u_vals[u_base + idx] * self.pb[j as usize];
+            }
+            self.pb[i] = acc / self.u_vals[u_base];
+        }
+        // Un-permute the solution.
+        for (new, &old) in symbolic.perm.iter().enumerate() {
+            b[old as usize] = self.pb[new];
+        }
     }
 
     /// Factorises and solves `A·x = b`, overwriting `b` with the solution.
     ///
-    /// The stored values are left intact (factors live in scratch space),
-    /// so a failed solve can fall back to another method.
+    /// The stored values are left intact (factors live in persistent
+    /// scratch space), so a failed solve can fall back to another method
+    /// and a successful one leaves the factorisation available for
+    /// [`SparseMatrix::substitute`].
     ///
     /// # Errors
     ///
@@ -233,77 +422,8 @@ impl SparseMatrix {
     /// Panics if `b.len()` differs from the dimension.
     pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), CircuitError> {
         assert_eq!(b.len(), self.n, "rhs dimension mismatch");
-        self.ensure_symbolic();
-        let symbolic = self.symbolic.as_ref().expect("just ensured");
-        let n = self.n;
-
-        // Factor storage, indexed like the symbolic patterns.
-        let mut l_vals: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut u_vals: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut work = vec![0.0f64; n];
-
-        for i in 0..n {
-            // Scatter A[i, *].
-            for &(c, slot) in &symbolic.row_slots[i] {
-                work[c as usize] += self.values[slot as usize];
-            }
-            // Eliminate against prior rows in ascending pivot order.
-            let lo = &symbolic.lower[i];
-            let mut li = Vec::with_capacity(lo.len());
-            for &k in lo {
-                let k = k as usize;
-                let ukk = u_vals[k][0];
-                let factor = work[k] / ukk;
-                work[k] = 0.0;
-                li.push(factor);
-                if factor != 0.0 {
-                    let up_k = &symbolic.upper[k];
-                    let uv_k = &u_vals[k];
-                    for (idx, &j) in up_k.iter().enumerate().skip(1) {
-                        work[j as usize] -= factor * uv_k[idx];
-                    }
-                }
-            }
-            // Gather U[i, *].
-            let up = &symbolic.upper[i];
-            let mut ui = Vec::with_capacity(up.len());
-            for &j in up {
-                ui.push(work[j as usize]);
-                work[j as usize] = 0.0;
-            }
-            if ui[0].abs() < PIVOT_TOL || !ui[0].is_finite() {
-                return Err(CircuitError::SingularMatrix { pivot: i });
-            }
-            l_vals.push(li);
-            u_vals.push(ui);
-        }
-
-        // Permute the right-hand side into elimination order.
-        let mut pb: Vec<f64> = symbolic.perm.iter().map(|&old| b[old as usize]).collect();
-        // Forward substitution: L·y = P·b (L unit-diagonal).
-        for i in 0..n {
-            let lo = &symbolic.lower[i];
-            let lv = &l_vals[i];
-            let mut acc = pb[i];
-            for (idx, &k) in lo.iter().enumerate() {
-                acc -= lv[idx] * pb[k as usize];
-            }
-            pb[i] = acc;
-        }
-        // Back substitution: U·(P·x) = y.
-        for i in (0..n).rev() {
-            let up = &symbolic.upper[i];
-            let uv = &u_vals[i];
-            let mut acc = pb[i];
-            for (idx, &j) in up.iter().enumerate().skip(1) {
-                acc -= uv[idx] * pb[j as usize];
-            }
-            pb[i] = acc / uv[0];
-        }
-        // Un-permute the solution.
-        for (new, &old) in symbolic.perm.iter().enumerate() {
-            b[old as usize] = pb[new];
-        }
+        self.factor()?;
+        self.substitute(b);
         Ok(())
     }
 }
@@ -440,5 +560,54 @@ mod tests {
         let dense = m.to_dense();
         assert_eq!(dense.get(0, 1), 1.0);
         assert_eq!(dense.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn substitute_is_bit_identical_to_solve() {
+        // Chord/LU-reuse soundness: a substitution against stored factors
+        // must reproduce the direct solve exactly.
+        let n = 8;
+        let mut m = SparseMatrix::zeros(n);
+        for i in 0..n {
+            m.add(i, i, 3.0 + i as f64);
+            if i + 1 < n {
+                m.add(i, i + 1, -0.5);
+                m.add(i + 1, i, -0.25);
+            }
+        }
+        m.factor().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let mut x1 = b.clone();
+        m.substitute(&mut x1);
+        let mut x2 = b.clone();
+        m.solve_in_place(&mut x2).unwrap();
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn growth_invalidates_factors() {
+        let mut m = SparseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(1, 1, 1.0);
+        m.factor().unwrap();
+        assert!(m.is_factored());
+        let (_, grew) = m.add(0, 1, 0.5);
+        assert!(grew);
+        assert!(!m.is_factored(), "structural growth drops stale factors");
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let mut m = SparseMatrix::zeros(3);
+        m.add(0, 0, 2.0);
+        m.add(0, 2, 1.0);
+        m.add(1, 1, -3.0);
+        m.add(2, 0, 0.5);
+        m.add(2, 2, 4.0);
+        m.add(2, 2, 0.25); // duplicate add accumulates into one slot
+        let x = vec![1.0, 2.0, -1.0];
+        let mut y = vec![0.0; 3];
+        m.mul_vec_into(&x, &mut y);
+        assert_eq!(y, m.to_dense().mul_vec(&x));
     }
 }

@@ -99,9 +99,12 @@ pub(crate) fn record_global_steps(stats: StepStats) {
 ///
 /// Counts how often the transient engine had to escalate past a plain
 /// Newton solve, and which rung of the ladder (gmin escalation → damped
-/// Newton → step halving, see `DESIGN.md` §6) succeeded. All-zero on a
-/// healthy run; nonzero counters on a run that still produced a result
-/// mean the ladder absorbed solver trouble.
+/// Newton → step halving, see `DESIGN.md` §6) succeeded. Also counts
+/// sparse→dense matrix demotions — technically a linear-solver fallback,
+/// not a ladder rung, but operationally the same kind of "the solver had
+/// to bail itself out" event. All-zero on a healthy run; nonzero counters
+/// on a run that still produced a result mean the ladder absorbed solver
+/// trouble.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveryStats {
     /// Retries that converged under an escalated `gmin` shunt.
@@ -113,6 +116,9 @@ pub struct RecoveryStats {
     pub nonfinite: u64,
     /// Accepted steps that needed any recovery (ladder retry or halving).
     pub recovered_steps: u64,
+    /// Sparse→dense system-matrix demotions (no-pivot LU hit a bad pivot
+    /// and the analysis permanently fell back to partial-pivot dense LU).
+    pub dense_demotions: u64,
 }
 
 impl RecoveryStats {
@@ -124,6 +130,7 @@ impl RecoveryStats {
             damped_retries: self.damped_retries - earlier.damped_retries,
             nonfinite: self.nonfinite - earlier.nonfinite,
             recovered_steps: self.recovered_steps - earlier.recovered_steps,
+            dense_demotions: self.dense_demotions - earlier.dense_demotions,
         }
     }
 
@@ -146,6 +153,7 @@ impl std::ops::AddAssign for RecoveryStats {
         self.damped_retries += other.damped_retries;
         self.nonfinite += other.nonfinite;
         self.recovered_steps += other.recovered_steps;
+        self.dense_demotions += other.dense_demotions;
     }
 }
 
@@ -162,6 +170,7 @@ static GLOBAL_GMIN_RETRIES: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_DAMPED_RETRIES: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_NONFINITE: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_RECOVERED_STEPS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_DENSE_DEMOTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide cumulative recovery statistics, summed over every
 /// transient run since process start — the [`RecoveryStats`] counterpart
@@ -172,14 +181,143 @@ pub fn global_recovery_stats() -> RecoveryStats {
         damped_retries: GLOBAL_DAMPED_RETRIES.load(Ordering::Relaxed),
         nonfinite: GLOBAL_NONFINITE.load(Ordering::Relaxed),
         recovered_steps: GLOBAL_RECOVERED_STEPS.load(Ordering::Relaxed),
+        dense_demotions: GLOBAL_DENSE_DEMOTIONS.load(Ordering::Relaxed),
     }
 }
 
+/// Adds a transient run's ladder counters to the process-wide ledger.
+///
+/// `dense_demotions` is deliberately *not* added here: demotions are
+/// recorded at the fallback site itself ([`record_global_demotion`]),
+/// because they can also happen outside any transient run (DC operating
+/// point) and must never be double-counted.
 pub(crate) fn record_global_recovery(stats: RecoveryStats) {
     GLOBAL_GMIN_RETRIES.fetch_add(stats.gmin_retries, Ordering::Relaxed);
     GLOBAL_DAMPED_RETRIES.fetch_add(stats.damped_retries, Ordering::Relaxed);
     GLOBAL_NONFINITE.fetch_add(stats.nonfinite, Ordering::Relaxed);
     GLOBAL_RECOVERED_STEPS.fetch_add(stats.recovered_steps, Ordering::Relaxed);
+}
+
+/// Records one sparse→dense system-matrix demotion. Called from the
+/// fallback site in [`crate::linalg::SystemMatrix::factor`].
+pub(crate) fn record_global_demotion() {
+    GLOBAL_DENSE_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Hot-path solver counters of the incremental-assembly Newton loop.
+///
+/// Where [`StepStats`] counts *what* the time-stepping engine did,
+/// `SolverPerf` counts *how cheaply* each Newton iteration was served:
+/// how many LU factorisations were actually computed versus how many
+/// triangular substitutions were performed against stored factors (chord
+/// Newton and per-step LU reuse make `substitutions > factorizations`),
+/// how often per-`(time, dt)` baseline snapshots of the static devices
+/// were reused instead of restamped, and how often slot-resolved stamp
+/// tapes replaced hash-path assembly. All-zero with
+/// [`crate::analysis::HotPath::legacy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverPerf {
+    /// Numeric LU factorisations computed.
+    pub factorizations: u64,
+    /// Triangular substitutions (every linear solve performs one; a solve
+    /// served from stored factors performs *only* this).
+    pub substitutions: u64,
+    /// Newton iterations solved against frozen factors (chord iterations
+    /// plus whole-step LU bypasses).
+    pub lu_bypasses: u64,
+    /// Static-device baseline snapshots taken (one per `(time, dt,
+    /// method)` point with the incremental path on).
+    pub baseline_snapshots: u64,
+    /// Newton iterations that started from a baseline restore instead of
+    /// a full restamp.
+    pub baseline_reuses: u64,
+    /// Assembly passes served by tape replay (pure `values[slot] += v`
+    /// writes, zero hashing).
+    pub tape_replays: u64,
+    /// Tape replays abandoned mid-pass because the write pattern diverged
+    /// from the recording (the pass degrades to hash adds and re-records).
+    pub tape_mismatches: u64,
+}
+
+impl SolverPerf {
+    /// Counter-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &SolverPerf) -> SolverPerf {
+        SolverPerf {
+            factorizations: self.factorizations - earlier.factorizations,
+            substitutions: self.substitutions - earlier.substitutions,
+            lu_bypasses: self.lu_bypasses - earlier.lu_bypasses,
+            baseline_snapshots: self.baseline_snapshots - earlier.baseline_snapshots,
+            baseline_reuses: self.baseline_reuses - earlier.baseline_reuses,
+            tape_replays: self.tape_replays - earlier.tape_replays,
+            tape_mismatches: self.tape_mismatches - earlier.tape_mismatches,
+        }
+    }
+
+    /// Fraction of linear solves served without a fresh factorisation
+    /// (`lu_bypasses / substitutions`); 0.0 when nothing was solved.
+    #[must_use]
+    pub fn bypass_rate(&self) -> f64 {
+        if self.substitutions == 0 {
+            0.0
+        } else {
+            self.lu_bypasses as f64 / self.substitutions as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for SolverPerf {
+    fn add_assign(&mut self, other: Self) {
+        self.factorizations += other.factorizations;
+        self.substitutions += other.substitutions;
+        self.lu_bypasses += other.lu_bypasses;
+        self.baseline_snapshots += other.baseline_snapshots;
+        self.baseline_reuses += other.baseline_reuses;
+        self.tape_replays += other.tape_replays;
+        self.tape_mismatches += other.tape_mismatches;
+    }
+}
+
+impl std::ops::Add for SolverPerf {
+    type Output = SolverPerf;
+
+    fn add(mut self, other: Self) -> SolverPerf {
+        self += other;
+        self
+    }
+}
+
+static GLOBAL_FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_SUBSTITUTIONS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_LU_BYPASSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_BASELINE_SNAPSHOTS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_BASELINE_REUSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_TAPE_REPLAYS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_TAPE_MISMATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cumulative solver hot-path counters — the [`SolverPerf`]
+/// counterpart of [`global_step_stats`], with the same snapshot-and-diff
+/// usage.
+pub fn global_solver_stats() -> SolverPerf {
+    SolverPerf {
+        factorizations: GLOBAL_FACTORIZATIONS.load(Ordering::Relaxed),
+        substitutions: GLOBAL_SUBSTITUTIONS.load(Ordering::Relaxed),
+        lu_bypasses: GLOBAL_LU_BYPASSES.load(Ordering::Relaxed),
+        baseline_snapshots: GLOBAL_BASELINE_SNAPSHOTS.load(Ordering::Relaxed),
+        baseline_reuses: GLOBAL_BASELINE_REUSES.load(Ordering::Relaxed),
+        tape_replays: GLOBAL_TAPE_REPLAYS.load(Ordering::Relaxed),
+        tape_mismatches: GLOBAL_TAPE_MISMATCHES.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_global_solver(stats: SolverPerf) {
+    GLOBAL_FACTORIZATIONS.fetch_add(stats.factorizations, Ordering::Relaxed);
+    GLOBAL_SUBSTITUTIONS.fetch_add(stats.substitutions, Ordering::Relaxed);
+    GLOBAL_LU_BYPASSES.fetch_add(stats.lu_bypasses, Ordering::Relaxed);
+    GLOBAL_BASELINE_SNAPSHOTS.fetch_add(stats.baseline_snapshots, Ordering::Relaxed);
+    GLOBAL_BASELINE_REUSES.fetch_add(stats.baseline_reuses, Ordering::Relaxed);
+    GLOBAL_TAPE_REPLAYS.fetch_add(stats.tape_replays, Ordering::Relaxed);
+    GLOBAL_TAPE_MISMATCHES.fetch_add(stats.tape_mismatches, Ordering::Relaxed);
 }
 
 /// Signal edge direction for threshold-crossing measurements.
@@ -416,6 +554,7 @@ impl TraceStore {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub fn finish(
         self,
         pin_energy: Vec<f64>,
@@ -423,6 +562,7 @@ impl TraceStore {
         max_kcl_residual: f64,
         stats: StepStats,
         recovery: RecoveryStats,
+        solver: SolverPerf,
     ) -> TransientResult {
         TransientResult {
             times: self.times,
@@ -441,6 +581,7 @@ impl TraceStore {
             max_kcl_residual,
             stats,
             recovery,
+            solver,
         }
     }
 }
@@ -464,6 +605,7 @@ pub struct TransientResult {
     max_kcl_residual: f64,
     stats: StepStats,
     recovery: RecoveryStats,
+    solver: SolverPerf,
 }
 
 impl TransientResult {
@@ -497,6 +639,12 @@ impl TransientResult {
     /// converged on the first Newton attempt).
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// Hot-path solver counters of the run (factorisations vs
+    /// substitutions, baseline and tape reuse).
+    pub fn solver_perf(&self) -> SolverPerf {
+        self.solver
     }
 
     /// Worst KCL residual observed at any free node (amps) — an internal

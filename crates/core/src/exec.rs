@@ -19,7 +19,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use ftcam_array::CacheStats;
-use ftcam_circuit::{RecoveryStats, StepStats};
+use ftcam_circuit::{RecoveryStats, SolverPerf, StepStats};
 use serde::{Deserialize, Serialize};
 
 /// Renders a panic payload the way the panic hook would.
@@ -132,6 +132,10 @@ pub struct ExecStats {
     /// Recovery-ladder activity during the run (same process-wide delta
     /// caveat as `steps`); all-zero unless the solver had to recover.
     pub recovery: RecoveryStats,
+    /// Solver hot-path counters during the run — factorisations,
+    /// substitutions, LU bypasses, baseline snapshot reuse and stamp-tape
+    /// replays (same process-wide delta caveat as `steps`).
+    pub solver: SolverPerf,
     /// Total wall-clock nanoseconds for the experiment.
     pub wall_nanos: u64,
 }

@@ -67,6 +67,7 @@ pub fn instrumented(
     let exec_before = eval.exec_counters().snapshot();
     let steps_before = ftcam_circuit::global_step_stats();
     let recovery_before = ftcam_circuit::global_recovery_stats();
+    let solver_before = ftcam_circuit::global_solver_stats();
     let started = Instant::now();
     let mut artifact = f(eval)?;
     let wall_nanos = started.elapsed().as_nanos() as u64;
@@ -79,6 +80,7 @@ pub fn instrumented(
         cache: eval.calibrations().stats().since(&cache_before),
         steps: ftcam_circuit::global_step_stats().since(&steps_before),
         recovery: ftcam_circuit::global_recovery_stats().since(&recovery_before),
+        solver: ftcam_circuit::global_solver_stats().since(&solver_before),
         wall_nanos,
     });
     Ok(artifact)

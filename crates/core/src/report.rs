@@ -466,6 +466,7 @@ mod tests {
             cache: Default::default(),
             steps: Default::default(),
             recovery: Default::default(),
+            solver: Default::default(),
             wall_nanos: 2_000,
         };
         let mut a = Artifact::Table(Table::new("t", "x", vec![]));

@@ -21,7 +21,7 @@
 //! ferroelectric displacement current `A·P_r·dp/dt` is injected with a
 //! one-step lag so write energy is drawn from the driving source.
 
-use ftcam_circuit::{CommitCtx, Device, NodeId, StampCtx};
+use ftcam_circuit::{CommitCtx, Device, NodeId, StampClass, StampCtx};
 use serde::{Deserialize, Serialize};
 
 use crate::caps::CapState;
@@ -286,6 +286,12 @@ impl Device for FeFet {
 
     fn is_nonlinear(&self) -> bool {
         true
+    }
+
+    // The channel linearisation moves with the candidate voltages:
+    // restamp every Newton iteration.
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Dynamic
     }
 
     fn dissipated_power(&self, ctx: &CommitCtx<'_>) -> Option<f64> {

@@ -14,7 +14,7 @@
 //! Newton convergence. Source/drain symmetry is inherent: swapping the
 //! terminals negates the current.
 
-use ftcam_circuit::{CommitCtx, Device, NodeId, StampCtx};
+use ftcam_circuit::{CommitCtx, Device, NodeId, StampClass, StampCtx};
 use serde::{Deserialize, Serialize};
 
 use crate::caps::CapState;
@@ -257,6 +257,12 @@ impl Device for Mosfet {
 
     fn is_nonlinear(&self) -> bool {
         true
+    }
+
+    // The channel linearisation moves with the candidate voltages:
+    // restamp every Newton iteration.
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Dynamic
     }
 
     fn dissipated_power(&self, ctx: &CommitCtx<'_>) -> Option<f64> {

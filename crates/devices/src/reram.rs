@@ -1,6 +1,6 @@
 //! Bistable resistive memory element for the 2T-2R TCAM baseline.
 
-use ftcam_circuit::{CommitCtx, Device, NodeId, StampCtx};
+use ftcam_circuit::{CommitCtx, Device, NodeId, StampClass, StampCtx};
 use serde::{Deserialize, Serialize};
 
 /// Programmed state of a [`Reram`] cell.
@@ -106,6 +106,13 @@ impl Device for Reram {
 
     fn stamp(&self, ctx: &mut StampCtx<'_>) {
         ctx.stamp_conductance(self.a, self.b, 1.0 / self.resistance());
+    }
+
+    // The stored state only changes through the explicit write API
+    // between analyses, never inside one, so the stamp is linear for the
+    // duration of any transient.
+    fn stamp_class(&self) -> StampClass {
+        StampClass::Linear
     }
 
     fn dissipated_power(&self, ctx: &CommitCtx<'_>) -> Option<f64> {

@@ -204,6 +204,10 @@ pub mod strategy {
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
     }
 
     /// Object-safe view of a strategy; the `prop_oneof!` macro boxes its
